@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Reproduces paper Figure 11 (Section 6.3): EclipseDiff throughput
+ * when pruning may only begin once the heap is truly exhausted
+ * (option (1), PruneTrigger::OnlyWhenExhausted), instead of at the
+ * default 90% "nearly full" threshold.
+ *
+ * Paper shape: the first spike is much taller (~2.5X the later ones)
+ * because the VM grinds through back-to-back collections as the heap
+ * fills completely before the first prune; later prunes engage at the
+ * nearly-full threshold (the program has exhausted memory once) and
+ * their spikes are smaller.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "apps/leak_workload.h"
+#include "harness/driver.h"
+#include "harness/report.h"
+
+using namespace lp;
+
+int
+main()
+{
+    registerAllWorkloads();
+    printBanner(std::cout, "Figure 11 (ASPLOS'09 Leak Pruning)",
+                "EclipseDiff time/iteration with the 100%-full prune "
+                "trigger (option 1)");
+
+    DriverConfig cfg;
+    cfg.enablePruning = true;
+    cfg.pruneTrigger = PruneTrigger::OnlyWhenExhausted;
+    cfg.recordSeries = true;
+    cfg.maxIterations = 3000;
+    cfg.maxSeconds = 25.0;
+
+    const RunResult run = runWorkloadByName("EclipseDiff", cfg);
+
+    SeriesChart chart("EclipseDiff, prune only at 100% full", "iteration",
+                      "ms");
+    Series s = run.iterMillis;
+    s.setName("OnlyWhenExhausted trigger");
+    chart.addSeries(std::move(s));
+    chart.print(std::cout, 20, false);
+
+    // The paper's spike comes from the VM "grinding to a halt" before
+    // the first prune: back-to-back collections each reclaiming only a
+    // sliver while the heap is 100% full. Our iterations are many
+    // orders of magnitude shorter than Eclipse's, so we quantify the
+    // same phenomenon as collection-burst density: the number of
+    // collections crammed into the first-exhaustion episode vs a
+    // typical later prune episode (later prunes engage at the 90%
+    // threshold, since memory has been exhausted once).
+    const std::size_t n = run.gcPerIter.size();
+    double first_burst = 0.0, later_burst = 0.0;
+    std::size_t first_at = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double gcs = run.gcPerIter.y(i);
+        if (first_burst == 0.0 && gcs >= 3.0) {
+            first_burst = gcs; // the first exhaustion episode
+            first_at = i;
+        } else if (first_burst > 0.0) {
+            later_burst = std::max(later_burst, gcs);
+        }
+    }
+    double tallest_first = 0.0, tallest_later = 0.0;
+    for (std::size_t i = 0; i < run.iterMillis.size(); ++i) {
+        const double y = run.iterMillis.y(i);
+        if (i <= first_at + 2)
+            tallest_first = std::max(tallest_first, y);
+        else
+            tallest_later = std::max(tallest_later, y);
+    }
+
+    std::printf("\niterations: %llu   end: %s\n",
+                static_cast<unsigned long long>(run.iterations),
+                endReasonName(run.end));
+    std::printf("first exhaustion episode (iteration %zu): %.0f collections "
+                "in one iteration, %.2f ms\n",
+                first_at + 1, first_burst, tallest_first);
+    std::printf("tallest later episode: %.0f collections, %.2f ms\n",
+                later_burst, tallest_later);
+    std::printf("burst ratio first/later: %.2f (paper Fig. 11: the first "
+                "spike is ~2.5X the later ones because later prunes engage "
+                "at the 90%% threshold)\n",
+                later_burst > 0 ? first_burst / later_burst : 0.0);
+    return 0;
+}

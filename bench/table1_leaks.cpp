@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Reproduces paper Table 1: "Ten leaks and leak pruning's effect on
+ * them." Each leak runs on the unmodified runtime (baseline) and with
+ * leak pruning; the table reports how much longer pruning keeps the
+ * program alive and how it ultimately ends.
+ *
+ * The paper's absolute numbers come from 24-hour runs on a 2009-era
+ * Pentium 4 with Java workloads; ours are bounded by per-run wall
+ * clock caps, so runs that are still healthy at the cap correspond to
+ * the paper's "runs indefinitely / >24 hours" rows and ratios are
+ * lower bounds for them.
+ */
+
+#include <iostream>
+#include <sstream>
+
+#include "apps/leak_workload.h"
+#include "harness/driver.h"
+#include "harness/report.h"
+
+using namespace lp;
+
+namespace {
+
+struct PaperRow {
+    const char *name;
+    const char *paperEffect;
+    const char *paperReason;
+};
+
+/** Table 1 as published. */
+const PaperRow kPaperRows[] = {
+    {"EclipseDiff", "Runs >200X longer", "Almost all reclaimed"},
+    {"ListLeak", "Runs indefinitely", "All reclaimed"},
+    {"SwapLeak", "Runs indefinitely", "All reclaimed"},
+    {"EclipseCP", "Runs 81X longer", "Almost all reclaimed"},
+    {"MySQL", "Runs 35X longer", "Most reclaimed"},
+    {"SPECjbb2000", "Runs 4.7X longer", "Some reclaimed"},
+    {"JbbMod", "Runs 21X longer", "Most reclaimed"},
+    {"Mckoi", "Runs 1.6X longer", "Some reclaimed"},
+    {"DualLeak", "No help", "None reclaimed"},
+    {"Delaunay", "No help", "Short-running"},
+};
+
+} // namespace
+
+int
+main()
+{
+    registerAllWorkloads();
+    printBanner(std::cout, "Table 1 (ASPLOS'09 Leak Pruning)",
+                "ten leaks, baseline vs leak pruning");
+
+    TextTable table({"leak", "paper effect", "base iters", "pruned iters",
+                     "measured effect", "pruned end", "refs pruned"});
+
+    for (const PaperRow &row : kPaperRows) {
+        DriverConfig base_cfg;
+        base_cfg.enablePruning = false;
+        base_cfg.maxSeconds = 6.0;
+
+        DriverConfig prune_cfg;
+        prune_cfg.enablePruning = true;
+        prune_cfg.maxSeconds = 12.0;
+
+        const RunResult base = runWorkloadByName(row.name, base_cfg);
+        const RunResult pruned = runWorkloadByName(row.name, prune_cfg);
+
+        table.addRow({row.name, row.paperEffect,
+                      std::to_string(base.iterations),
+                      std::to_string(pruned.iterations),
+                      describeEffect(base, pruned),
+                      endReasonName(pruned.end),
+                      std::to_string(pruned.pruning.refsPoisoned)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nNotes:\n"
+              << " - 'iteration cap'/'time limit' ends mean the pruned run was\n"
+              << "   still healthy when the harness stopped it (the paper's\n"
+              << "   'runs indefinitely' / '24 hours+' rows).\n"
+              << " - DualLeak's growth is live (the program re-reads it), so\n"
+              << "   no semantics-preserving scheme can reclaim it.\n"
+              << " - Delaunay finishes normally under both configurations.\n";
+    return 0;
+}

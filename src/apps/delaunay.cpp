@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Delaunay (paper Section 6): a short-running computational program
+ * with bounded memory. "Unlike the other leaks, Delaunay does not use
+ * an unbounded amount of memory. Leak pruning does not have time to
+ * observe it and prune references" — Table 1's second "No help" row.
+ *
+ * This is a real (if unoptimized) incremental Bowyer-Watson Delaunay
+ * triangulation running entirely on managed objects: Points and
+ * Triangles live in the managed heap, the triangle set is a managed
+ * vector, and all traversal goes through the read barrier — so it
+ * doubles as a stress test for the runtime on irregular, mutating
+ * object graphs.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "apps/leak_workload.h"
+#include "collections/fields.h"
+#include "collections/managed_vector.h"
+#include "util/rng.h"
+#include "vm/handles.h"
+
+namespace lp {
+namespace {
+
+class Delaunay : public LeakWorkload
+{
+  public:
+    const char *name() const override { return "Delaunay"; }
+
+    void
+    setUp(Runtime &rt) override
+    {
+        tri_vec_type_ = std::make_unique<ManagedVector>(rt, "delaunay");
+        point_cls_ = rt.defineClass("delaunay.Point", 0, 16);      // x, y
+        triangle_cls_ = rt.defineClass("delaunay.Triangle", 3, 24); // cx, cy, r2
+        triangles_ = std::make_unique<GlobalRoot>(rt.roots(), nullptr);
+        super_ = std::make_unique<GlobalRoot>(rt.roots(), nullptr);
+
+        HandleScope scope(rt.roots());
+        // Super-triangle enclosing the unit square comfortably.
+        Handle a = scope.handle(makePoint(rt, -10.0, -10.0));
+        Handle b = scope.handle(makePoint(rt, 10.0, -10.0));
+        Handle c = scope.handle(makePoint(rt, 0.0, 20.0));
+        Handle tri =
+            scope.handle(makeTriangle(rt, a.get(), b.get(), c.get()));
+        Handle vec = scope.handle(tri_vec_type_->create(16));
+        tri_vec_type_->push(vec.get(), tri.get());
+        triangles_->set(vec.get());
+        // Remember the super vertices so the final mesh could strip
+        // them (kept reachable for validity checks).
+        Handle super_vec = scope.handle(tri_vec_type_->create(4));
+        tri_vec_type_->push(super_vec.get(), a.get());
+        tri_vec_type_->push(super_vec.get(), b.get());
+        tri_vec_type_->push(super_vec.get(), c.get());
+        super_->set(super_vec.get());
+    }
+
+    void
+    iterate(Runtime &rt, std::uint64_t iter) override
+    {
+        if (finished(iter))
+            return;
+        insertPoint(rt, rng_.nextDouble(), rng_.nextDouble());
+    }
+
+    bool finished(std::uint64_t iter) const override { return iter >= kPoints; }
+
+    std::size_t defaultHeapBytes() const override { return 8u << 20; }
+
+    /** Triangle count (diagnostics: Euler's bound ~2n triangles). */
+    std::size_t
+    triangleCount(Runtime & /*rt*/)
+    {
+        return tri_vec_type_->size(triangles_->get());
+    }
+
+  private:
+    static constexpr std::uint64_t kPoints = 300;
+
+    Object *
+    makePoint(Runtime &rt, double x, double y)
+    {
+        Object *p = rt.allocate(point_cls_);
+        writeData<double>(rt, p, 0, x);
+        writeData<double>(rt, p, 8, y);
+        return p;
+    }
+
+    double px(Runtime &rt, Object *p) { return readData<double>(rt, p, 0); }
+    double py(Runtime &rt, Object *p) { return readData<double>(rt, p, 8); }
+
+    /** Build a triangle and cache its circumcircle in the data area. */
+    Object *
+    makeTriangle(Runtime &rt, Object *a, Object *b, Object *c)
+    {
+        HandleScope scope(rt.roots());
+        Handle ha = scope.handle(a), hb = scope.handle(b), hc = scope.handle(c);
+        Object *t = rt.allocate(triangle_cls_);
+        rt.writeRef(t, 0, ha.get());
+        rt.writeRef(t, 1, hb.get());
+        rt.writeRef(t, 2, hc.get());
+
+        const double ax = px(rt, ha.get()), ay = py(rt, ha.get());
+        const double bx = px(rt, hb.get()), by = py(rt, hb.get());
+        const double cx = px(rt, hc.get()), cy = py(rt, hc.get());
+        const double d = 2.0 * (ax * (by - cy) + bx * (cy - ay) + cx * (ay - by));
+        const double a2 = ax * ax + ay * ay;
+        const double b2 = bx * bx + by * by;
+        const double c2 = cx * cx + cy * cy;
+        const double ux = (a2 * (by - cy) + b2 * (cy - ay) + c2 * (ay - by)) / d;
+        const double uy = (a2 * (cx - bx) + b2 * (ax - cx) + c2 * (bx - ax)) / d;
+        const double r2 = (ux - ax) * (ux - ax) + (uy - ay) * (uy - ay);
+        writeData<double>(rt, t, 0, ux);
+        writeData<double>(rt, t, 8, uy);
+        writeData<double>(rt, t, 16, r2);
+        return t;
+    }
+
+    bool
+    circumcircleContains(Runtime &rt, Object *tri, double x, double y)
+    {
+        const double ux = readData<double>(rt, tri, 0);
+        const double uy = readData<double>(rt, tri, 8);
+        const double r2 = readData<double>(rt, tri, 16);
+        return (x - ux) * (x - ux) + (y - uy) * (y - uy) <= r2;
+    }
+
+    /** Incremental Bowyer-Watson insertion. */
+    void
+    insertPoint(Runtime &rt, double x, double y)
+    {
+        HandleScope scope(rt.roots());
+        Handle point = scope.handle(makePoint(rt, x, y));
+        Object *old_vec = triangles_->get();
+        const std::size_t n = tri_vec_type_->size(old_vec);
+
+        // Partition triangles into bad (circumcircle contains the
+        // point) and good. All triangles stay reachable through the
+        // old vector while we work.
+        std::vector<Object *> bad;
+        std::vector<Object *> good;
+        for (std::size_t i = 0; i < n; ++i) {
+            Object *tri = tri_vec_type_->get(old_vec, i);
+            (circumcircleContains(rt, tri, x, y) ? bad : good).push_back(tri);
+        }
+
+        // The boundary of the bad region: edges that belong to exactly
+        // one bad triangle. Edges are unordered point pairs.
+        struct Edge { Object *u, *v; };
+        std::vector<Edge> boundary;
+        auto addEdge = [&](Object *u, Object *v) {
+            for (std::size_t i = 0; i < boundary.size(); ++i) {
+                if ((boundary[i].u == u && boundary[i].v == v) ||
+                    (boundary[i].u == v && boundary[i].v == u)) {
+                    boundary.erase(boundary.begin() +
+                                   static_cast<std::ptrdiff_t>(i));
+                    return; // shared by two bad triangles: interior
+                }
+            }
+            boundary.push_back({u, v});
+        };
+        for (Object *tri : bad) {
+            Object *a = rt.readRef(tri, 0);
+            Object *b = rt.readRef(tri, 1);
+            Object *c = rt.readRef(tri, 2);
+            addEdge(a, b);
+            addEdge(b, c);
+            addEdge(c, a);
+        }
+
+        // Re-triangulate: keep the good triangles, fan the boundary
+        // around the new point. A fresh vector replaces the old one
+        // (the old becomes garbage; this program's memory is bounded
+        // because the mesh is, at ~2 triangles per point).
+        Handle fresh = scope.handle(
+            tri_vec_type_->create(std::max<std::size_t>(16, n + 8)));
+        for (Object *tri : good)
+            tri_vec_type_->push(fresh.get(), tri);
+        for (const Edge &e : boundary) {
+            Handle t = scope.handle(
+                makeTriangle(rt, e.u, e.v, point.get()));
+            tri_vec_type_->push(fresh.get(), t.get());
+        }
+        triangles_->set(fresh.get());
+    }
+
+    std::unique_ptr<ManagedVector> tri_vec_type_;
+    std::unique_ptr<GlobalRoot> triangles_;
+    std::unique_ptr<GlobalRoot> super_;
+    class_id_t point_cls_ = kInvalidClassId;
+    class_id_t triangle_cls_ = kInvalidClassId;
+    Rng rng_{1959}; // Delaunay's triangulation paper proof, 1934... seed only
+};
+
+} // namespace
+
+void
+registerDelaunay()
+{
+    WorkloadRegistry::instance().add(
+        {"Delaunay",
+         "short-running Bowyer-Watson triangulation; bounded memory, no leak",
+         true, [] { return std::make_unique<Delaunay>(); }});
+}
+
+} // namespace lp

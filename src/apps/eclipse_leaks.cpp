@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Models of the two Eclipse leaks (paper Section 6).
+ *
+ * EclipseDiff (Eclipse bug #115789): each structural compare creates a
+ * NavigationHistory entry pointing to a ResourceCompareInput. The
+ * history and the ResourceCompareInput objects are live (Eclipse
+ * traverses the list and accesses them), but a large dead subtree of
+ * diff results hangs off each ResourceCompareInput. Pruning selects
+ * edge types with source ResourceCompareInput, turning a fast leak
+ * into a very slow one (paper: >200X longer, 24h+ without dying).
+ *
+ * EclipseCP (Eclipse bug #155889): repeated cut-save-paste-save leaks
+ * undo-manager TextCommand -> String and DocumentEvent -> String
+ * structures with large text payloads. The undo list is traversed
+ * (commands live, strings dead). The heap also holds UI strings of
+ * the very same String/char[] classes, touched only occasionally —
+ * which is why the "Individual references" predictor kills EclipseCP
+ * early (it selects String -> char[] by direct target size and
+ * poisons the still-live UI strings), while the default algorithm
+ * charges whole data structures to TextCommand -> String and leaves
+ * the UI alone (paper Section 6.1, Table 2). Steady-state reachable
+ * memory creeps upward (caches), and rare deep-undo operations
+ * eventually touch a reclaimed string, terminating the run — the
+ * paper's 81X-then-die shape.
+ */
+
+#include "apps/leak_workload.h"
+#include "collections/managed_list.h"
+#include "collections/managed_string.h"
+#include "collections/managed_vector.h"
+#include "util/rng.h"
+#include "vm/handles.h"
+
+namespace lp {
+namespace {
+
+// --- EclipseDiff ---------------------------------------------------------------
+
+class EclipseDiff : public LeakWorkload
+{
+  public:
+    const char *name() const override { return "EclipseDiff"; }
+
+    void
+    setUp(Runtime &rt) override
+    {
+        history_type_ = std::make_unique<ManagedList>(
+            rt, "org.eclipse.ui.NavigationHistory");
+        entry_cls_ = rt.defineClass("org.eclipse.ui.NavigationHistoryEntry",
+                                    1, 8);
+        rci_cls_ = rt.defineClass(
+            "org.eclipse.compare.ResourceCompareInput", 2, 8);
+        diff_node_cls_ = rt.defineClass("org.eclipse.compare.DiffNode", 3, 8);
+        diff_content_cls_ =
+            rt.defineByteArrayClass("org.eclipse.compare.DiffContent");
+        history_ =
+            std::make_unique<GlobalRoot>(rt.roots(), history_type_->create());
+    }
+
+    void
+    iterate(Runtime &rt, std::uint64_t iter) override
+    {
+        HandleScope scope(rt.roots());
+
+        // One structural compare: build the (dead-to-be) result tree...
+        Handle tree = scope.handle(buildDiffTree(rt, kTreeDepth));
+        // ...root it in a fresh ResourceCompareInput...
+        Handle rci = scope.handle(rt.allocate(rci_cls_));
+        rt.writeRef(rci.get(), 0, tree.get());
+        // ...and record the compare in the navigation history.
+        Handle entry = scope.handle(rt.allocate(entry_cls_));
+        rt.writeRef(entry.get(), 0, rci.get());
+        history_type_->pushFront(history_->get(), entry.get());
+
+        // Eclipse traverses the history and touches the entries and
+        // their ResourceCompareInputs (live), but never the old diff
+        // results (dead). This is the access pattern that makes the
+        // subtrees prunable while the spine is protected. The common
+        // path only walks the recent window; a periodic full sweep
+        // (think: rendering the whole history menu) touches everything
+        // — in real Eclipse the diff computation dominates either way.
+        touchHistory(rt, iter % kFullSweepPeriod == kFullSweepPeriod - 1
+                             ? SIZE_MAX
+                             : kRecentWindow);
+    }
+
+    std::size_t defaultHeapBytes() const override { return 8u << 20; }
+
+  protected:
+    /** Bound the history (the manually fixed variant's behavior). */
+    void
+    trimHistory(std::size_t max_entries)
+    {
+        while (history_type_->size(history_->get()) > max_entries)
+            (void)history_type_->popFront(history_->get());
+    }
+
+  private:
+    static constexpr int kTreeDepth = 5;      //!< 2^5-1 = 31 DiffNodes
+    static constexpr std::size_t kLeafBytes = 1024;
+    static constexpr std::size_t kRecentWindow = 128;
+    static constexpr std::uint64_t kFullSweepPeriod = 32;
+
+    /** Walk up to @p limit history entries, touching entry and RCI. */
+    void
+    touchHistory(Runtime &rt, std::size_t limit)
+    {
+        history_type_->forEachLimited(history_->get(), limit, [&](Object *e) {
+            (void)rt.readRef(e, 0); // entry -> ResourceCompareInput
+        });
+    }
+
+    Object *
+    buildDiffTree(Runtime &rt, int depth)
+    {
+        HandleScope scope(rt.roots());
+        Handle node = scope.handle(rt.allocate(diff_node_cls_));
+        if (depth > 1) {
+            Handle left = scope.handle(buildDiffTree(rt, depth - 1));
+            Handle right = scope.handle(buildDiffTree(rt, depth - 1));
+            rt.writeRef(node.get(), 0, left.get());
+            rt.writeRef(node.get(), 1, right.get());
+        } else {
+            Handle content = scope.handle(
+                rt.allocateByteArray(diff_content_cls_, kLeafBytes));
+            rt.writeRef(node.get(), 2, content.get());
+        }
+        return node.get();
+    }
+
+    std::unique_ptr<ManagedList> history_type_;
+    std::unique_ptr<GlobalRoot> history_;
+    class_id_t entry_cls_ = kInvalidClassId;
+    class_id_t rci_cls_ = kInvalidClassId;
+    class_id_t diff_node_cls_ = kInvalidClassId;
+    class_id_t diff_content_cls_ = kInvalidClassId;
+};
+
+// --- EclipseDiffFixed ------------------------------------------------------------
+
+/**
+ * The manually fixed EclipseDiff (the dashed line in paper Fig. 1):
+ * the patch the authors reported for bug #115789 drops the stale
+ * NavigationHistory entries, so reachable memory stays flat. Modeled
+ * by bounding the history at a fixed depth.
+ */
+class EclipseDiffFixed : public EclipseDiff
+{
+  public:
+    const char *name() const override { return "EclipseDiffFixed"; }
+
+    void
+    iterate(Runtime &rt, std::uint64_t iter) override
+    {
+        EclipseDiff::iterate(rt, iter);
+        trimHistory(kMaxEntries);
+    }
+
+  private:
+    static constexpr std::size_t kMaxEntries = 16;
+};
+
+// --- EclipseCP -------------------------------------------------------------------
+
+class EclipseCP : public LeakWorkload
+{
+  public:
+    const char *name() const override { return "EclipseCP"; }
+
+    void
+    setUp(Runtime &rt) override
+    {
+        strings_ = std::make_unique<StringFactory>(rt, "java.lang");
+        undo_type_ = std::make_unique<ManagedList>(
+            rt, "org.eclipse.jface.text.DefaultUndoManager");
+        event_type_ = std::make_unique<ManagedList>(
+            rt, "org.eclipse.jface.text.DocumentEventLog");
+        ui_type_ = std::make_unique<ManagedVector>(rt, "org.eclipse.ui.Labels");
+        cache_type_ =
+            std::make_unique<ManagedList>(rt, "org.eclipse.core.Caches");
+        command_cls_ = rt.defineClass(
+            "org.eclipse.jface.text.DefaultUndoManager$TextCommand", 1, 16);
+        event_cls_ =
+            rt.defineClass("org.eclipse.jface.text.DocumentEvent", 1, 16);
+        cache_cls_ = rt.defineClass("org.eclipse.core.CacheEntry", 0, 192);
+
+        undo_ = std::make_unique<GlobalRoot>(rt.roots(), undo_type_->create());
+        events_ =
+            std::make_unique<GlobalRoot>(rt.roots(), event_type_->create());
+        ui_ = std::make_unique<GlobalRoot>(rt.roots(), ui_type_->create());
+        caches_ =
+            std::make_unique<GlobalRoot>(rt.roots(), cache_type_->create());
+
+        // The UI holds long-lived labels of the same String/char[]
+        // classes as the undo text; they are redrawn only rarely.
+        HandleScope scope(rt.roots());
+        for (int i = 0; i < kUiLabels; ++i) {
+            Handle s = scope.handle(strings_->createFilled(160, 'u'));
+            ui_type_->push(ui_->get(), s.get());
+        }
+    }
+
+    void
+    iterate(Runtime &rt, std::uint64_t iter) override
+    {
+        HandleScope scope(rt.roots());
+
+        // Cut + save: the undo manager records the removed text.
+        Handle cut = scope.handle(strings_->createFilled(kTextBytes, 'c'));
+        Handle cmd = scope.handle(rt.allocate(command_cls_));
+        rt.writeRef(cmd.get(), 0, cut.get());
+        undo_type_->pushFront(undo_->get(), cmd.get());
+
+        // Paste + save: a DocumentEvent keeps the inserted text.
+        Handle pasted = scope.handle(strings_->createFilled(kTextBytes, 'p'));
+        Handle ev = scope.handle(rt.allocate(event_cls_));
+        rt.writeRef(ev.get(), 0, pasted.get());
+        event_type_->pushFront(events_->get(), ev.get());
+
+        // The editor walks its undo/event spines each operation
+        // (commands and events live; their strings are not read).
+        undo_type_->touchSpine(undo_->get());
+        event_type_->touchSpine(events_->get());
+
+        // Caches slowly accumulate live data: steady-state reachable
+        // memory creeps up, so even perfect pruning ends eventually.
+        Handle cache_entry = scope.handle(rt.allocate(cache_cls_));
+        cache_type_->pushFront(caches_->get(), cache_entry.get());
+        cache_type_->touchSpine(caches_->get());
+        cache_type_->forEach(caches_->get(), [](Object *) {});
+
+        // Occasional UI redraw: the labels (same String class!) are
+        // genuinely used, just rarely.
+        if (iter % kUiRedrawPeriod == kUiRedrawPeriod - 1) {
+            ui_type_->forEach(ui_->get(), [&](Object *label) {
+                (void)rt.readRef(label, 0); // String -> char[]
+            });
+        }
+
+        // Rare deep undo: the user reaches back into history. Once
+        // pruning has reclaimed old text, one of these eventually
+        // touches a reclaimed instance and the program terminates
+        // (the paper's EclipseCP end state).
+        if (iter >= kDeepUndoAge && iter % kDeepUndoPeriod == 0) {
+            const std::size_t age =
+                kDeepUndoAge + rng_.nextBelow(kDeepUndoAge);
+            Object *cmd_obj = undo_type_->get(undo_->get(), age);
+            if (cmd_obj) {
+                Object *text = rt.readRef(cmd_obj, 0);
+                (void)rt.readRef(text, 0); // String -> char[]
+            }
+        }
+    }
+
+    std::size_t defaultHeapBytes() const override { return 8u << 20; }
+
+  private:
+    static constexpr std::size_t kTextBytes = 160 * 1024; //!< ~"3MB of text", scaled
+    static constexpr int kUiLabels = 64;
+    static constexpr std::uint64_t kUiRedrawPeriod = 96;
+    static constexpr std::uint64_t kDeepUndoPeriod = 1201;
+    static constexpr std::size_t kDeepUndoAge = 24;
+
+    std::unique_ptr<StringFactory> strings_;
+    std::unique_ptr<ManagedList> undo_type_;
+    std::unique_ptr<ManagedList> event_type_;
+    std::unique_ptr<ManagedVector> ui_type_;
+    std::unique_ptr<ManagedList> cache_type_;
+    std::unique_ptr<GlobalRoot> undo_;
+    std::unique_ptr<GlobalRoot> events_;
+    std::unique_ptr<GlobalRoot> ui_;
+    std::unique_ptr<GlobalRoot> caches_;
+    class_id_t command_cls_ = kInvalidClassId;
+    class_id_t event_cls_ = kInvalidClassId;
+    class_id_t cache_cls_ = kInvalidClassId;
+    Rng rng_{20090307}; // ASPLOS'09 started March 7
+};
+
+} // namespace
+
+void
+registerEclipseLeaks()
+{
+    WorkloadRegistry &reg = WorkloadRegistry::instance();
+    reg.add({"EclipseDiff",
+             "Eclipse bug #115789: structural compares leak dead diff trees "
+             "off a live navigation history",
+             true, [] { return std::make_unique<EclipseDiff>(); }});
+    reg.add({"EclipseDiffFixed",
+             "EclipseDiff with the reported source fix applied (bounded "
+             "history); the flat line of paper Fig. 1",
+             false, [] { return std::make_unique<EclipseDiffFixed>(); }});
+    reg.add({"EclipseCP",
+             "Eclipse bug #155889: cut-save-paste-save leaks undo text; "
+             "UI strings share the leaking classes",
+             true, [] { return std::make_unique<EclipseCP>(); }});
+}
+
+} // namespace lp

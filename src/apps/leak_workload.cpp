@@ -1,0 +1,78 @@
+#include "apps/leak_workload.h"
+
+#include "util/logging.h"
+
+namespace lp {
+
+WorkloadRegistry &
+WorkloadRegistry::instance()
+{
+    static WorkloadRegistry registry;
+    return registry;
+}
+
+void
+WorkloadRegistry::add(WorkloadInfo info)
+{
+    LP_ASSERT(!find(info.name), "duplicate workload: ", info.name);
+    infos_.push_back(std::move(info));
+}
+
+const WorkloadInfo *
+WorkloadRegistry::find(const std::string &name) const
+{
+    for (const WorkloadInfo &info : infos_) {
+        if (info.name == name)
+            return &info;
+    }
+    return nullptr;
+}
+
+std::vector<const WorkloadInfo *>
+WorkloadRegistry::all() const
+{
+    std::vector<const WorkloadInfo *> out;
+    for (const WorkloadInfo &info : infos_)
+        out.push_back(&info);
+    return out;
+}
+
+std::vector<const WorkloadInfo *>
+WorkloadRegistry::leaks() const
+{
+    std::vector<const WorkloadInfo *> out;
+    for (const WorkloadInfo &info : infos_) {
+        if (info.leaking)
+            out.push_back(&info);
+    }
+    return out;
+}
+
+std::vector<const WorkloadInfo *>
+WorkloadRegistry::nonLeaking() const
+{
+    std::vector<const WorkloadInfo *> out;
+    for (const WorkloadInfo &info : infos_) {
+        if (!info.leaking)
+            out.push_back(&info);
+    }
+    return out;
+}
+
+void
+registerAllWorkloads()
+{
+    static const bool once = [] {
+        registerMicroleaks();
+        registerEclipseLeaks();
+        registerServerLeaks();
+        registerJbbLeaks();
+        registerDelaunay();
+        registerPhasedLeak();
+        registerNonLeakingSuite();
+        return true;
+    }();
+    (void)once;
+}
+
+} // namespace lp

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The workload interface and registry for the paper's evaluation
+ * programs (Section 6, Table 1): ten leaks plus a suite of
+ * non-leaking benchmarks for the overhead measurements (Section 5).
+ *
+ * The originals are Java programs (Eclipse, MySQL/JDBC, SPECjbb2000,
+ * Mckoi, microbenchmarks). Each is rebuilt here as a behavioral model
+ * on our runtime that reproduces the heap shape and access pattern the
+ * paper describes — which is exactly the signal leak pruning keys on.
+ * DESIGN.md's inventory documents each substitution.
+ */
+
+#ifndef LP_APPS_LEAK_WORKLOAD_H
+#define LP_APPS_LEAK_WORKLOAD_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vm/runtime.h"
+
+namespace lp {
+
+/**
+ * One evaluation program. Lifecycle: construct, setUp(rt) once, then
+ * iterate(rt, i) until it throws (OutOfMemoryError / InternalError),
+ * finishes, or the driver's cap is reached. Implementations own their
+ * GlobalRoots and must release them in their destructor (before the
+ * Runtime dies), which the driver guarantees by destruction order.
+ */
+class LeakWorkload
+{
+  public:
+    virtual ~LeakWorkload() = default;
+
+    /** Workload name as used in the paper's tables. */
+    virtual const char *name() const = 0;
+
+    /** Register classes and build the initial object graph. */
+    virtual void setUp(Runtime &rt) = 0;
+
+    /**
+     * Perform one iteration — the paper's unit of work for each leak
+     * (e.g. one structural diff for EclipseDiff, 1000 statements for
+     * MySQL, 100k transactions for SPECjbb2000), scaled down so a run
+     * finishes in bench time.
+     */
+    virtual void iterate(Runtime &rt, std::uint64_t iter) = 0;
+
+    /**
+     * True when the program is done (only short-running programs like
+     * Delaunay ever finish; leaks run until they die or are capped).
+     */
+    virtual bool finished(std::uint64_t iter) const
+    {
+        (void)iter;
+        return false;
+    }
+
+    /**
+     * Heap size for the paper's setup: "about twice the size needed to
+     * run the program if it did not leak".
+     */
+    virtual std::size_t defaultHeapBytes() const { return 8u << 20; }
+};
+
+/** Factory + metadata for one registered workload. */
+struct WorkloadInfo {
+    std::string name;
+    std::string description;
+    bool leaking = true;
+    std::function<std::unique_ptr<LeakWorkload>()> make;
+};
+
+/**
+ * Global registry of evaluation workloads. The ten leaks register
+ * under their paper names (ListLeak, SwapLeak, DualLeak, EclipseDiff,
+ * EclipseCP, MySQL, SPECjbb2000, JbbMod, Mckoi, Delaunay); the
+ * non-leaking overhead suite registers with a "suite." prefix.
+ */
+class WorkloadRegistry
+{
+  public:
+    static WorkloadRegistry &instance();
+
+    void add(WorkloadInfo info);
+    const WorkloadInfo *find(const std::string &name) const;
+    std::vector<const WorkloadInfo *> all() const;
+    std::vector<const WorkloadInfo *> leaks() const;
+    std::vector<const WorkloadInfo *> nonLeaking() const;
+
+  private:
+    std::vector<WorkloadInfo> infos_;
+};
+
+// Per-module registration functions (static initializers in a static
+// library would be dropped by the linker, so registration is explicit).
+void registerMicroleaks();   //!< ListLeak, SwapLeak, DualLeak
+void registerEclipseLeaks(); //!< EclipseDiff, EclipseCP
+void registerServerLeaks();  //!< MySQL, Mckoi
+void registerJbbLeaks();     //!< SPECjbb2000, JbbMod
+void registerDelaunay();     //!< Delaunay
+void registerPhasedLeak();   //!< phased-behavior extension study
+void registerNonLeakingSuite(); //!< the Section 5 overhead suite
+
+/** Register every workload exactly once (idempotent). */
+void registerAllWorkloads();
+
+} // namespace lp
+
+#endif // LP_APPS_LEAK_WORKLOAD_H

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The three third-party microbenchmark leaks of paper Section 6:
+ *
+ *  - ListLeak (Sun Developer Network, 9 LOC): an unbounded list whose
+ *    nodes are never read again. Pure dead growth; leak pruning runs
+ *    it indefinitely by repeatedly pruning the one leaking edge type.
+ *  - SwapLeak (Sun Developer Network, 33 LOC): a swap bug retires the
+ *    working set into a forgotten container every round. The retired
+ *    structures are dead; pruning runs it indefinitely.
+ *  - DualLeak (IBM developerWorks, 55 LOC): growth that the program
+ *    re-reads every iteration — live heap growth that no
+ *    semantics-preserving scheme can reclaim ("No help" in Table 1).
+ */
+
+#include "apps/leak_workload.h"
+#include "collections/managed_list.h"
+#include "collections/managed_vector.h"
+#include "vm/handles.h"
+
+namespace lp {
+namespace {
+
+// --- ListLeak ----------------------------------------------------------------
+
+class ListLeak : public LeakWorkload
+{
+  public:
+    const char *name() const override { return "ListLeak"; }
+
+    void
+    setUp(Runtime &rt) override
+    {
+        list_type_ = std::make_unique<ManagedList>(rt, "listleak");
+        payload_cls_ = rt.defineClass("listleak.Element", 0, 240);
+        list_ = std::make_unique<GlobalRoot>(rt.roots(), list_type_->create());
+    }
+
+    void
+    iterate(Runtime &rt, std::uint64_t) override
+    {
+        // while (true) list.add(new Object()); — nothing is ever read.
+        HandleScope scope(rt.roots());
+        for (int i = 0; i < 20; ++i) {
+            Handle e = scope.handle(rt.allocate(payload_cls_));
+            list_type_->pushFront(list_->get(), e.get());
+        }
+    }
+
+    std::size_t defaultHeapBytes() const override { return 4u << 20; }
+
+  private:
+    std::unique_ptr<ManagedList> list_type_;
+    std::unique_ptr<GlobalRoot> list_;
+    class_id_t payload_cls_ = kInvalidClassId;
+};
+
+
+// --- SwapLeak ----------------------------------------------------------------
+
+class SwapLeak : public LeakWorkload
+{
+  public:
+    const char *name() const override { return "SwapLeak"; }
+
+    void
+    setUp(Runtime &rt) override
+    {
+        vec_type_ = std::make_unique<ManagedVector>(rt, "swapleak");
+        retired_type_ = std::make_unique<ManagedList>(rt, "swapleak.retired");
+        payload_cls_ = rt.defineClass("swapleak.Buffer", 0, 480);
+        retired_ =
+            std::make_unique<GlobalRoot>(rt.roots(), retired_type_->create());
+        working_ = std::make_unique<GlobalRoot>(rt.roots(), nullptr);
+    }
+
+    void
+    iterate(Runtime &rt, std::uint64_t) override
+    {
+        HandleScope scope(rt.roots());
+        // Build this round's working set and use it...
+        Handle fresh = scope.handle(vec_type_->create(8));
+        for (int i = 0; i < 8; ++i) {
+            Handle b = scope.handle(rt.allocate(payload_cls_));
+            vec_type_->push(fresh.get(), b.get());
+        }
+        vec_type_->forEach(fresh.get(), [](Object *) {});
+        // ...then the buggy swap: the old working set lands in a
+        // container nothing ever reads again.
+        if (working_->get())
+            retired_type_->pushFront(retired_->get(), working_->get());
+        working_->set(fresh.get());
+    }
+
+    std::size_t defaultHeapBytes() const override { return 4u << 20; }
+
+  private:
+    std::unique_ptr<ManagedVector> vec_type_;
+    std::unique_ptr<ManagedList> retired_type_;
+    std::unique_ptr<GlobalRoot> retired_;
+    std::unique_ptr<GlobalRoot> working_;
+    class_id_t payload_cls_ = kInvalidClassId;
+};
+
+
+// --- DualLeak ----------------------------------------------------------------
+
+class DualLeak : public LeakWorkload
+{
+  public:
+    const char *name() const override { return "DualLeak"; }
+
+    void
+    setUp(Runtime &rt) override
+    {
+        vec_type_ = std::make_unique<ManagedVector>(rt, "dualleak");
+        payload_cls_ = rt.defineClass("dualleak.Record", 1, 120);
+        detail_cls_ = rt.defineClass("dualleak.Detail", 0, 120);
+        records_ =
+            std::make_unique<GlobalRoot>(rt.roots(), vec_type_->create());
+    }
+
+    void
+    iterate(Runtime &rt, std::uint64_t) override
+    {
+        HandleScope scope(rt.roots());
+        for (int i = 0; i < 8; ++i) {
+            Handle d = scope.handle(rt.allocate(detail_cls_));
+            Handle r = scope.handle(rt.allocate(payload_cls_));
+            rt.writeRef(r.get(), 0, d.get());
+            vec_type_->push(records_->get(), r.get());
+        }
+        // The program processes every record, details included: all of
+        // the growth is live, so pruning cannot help.
+        vec_type_->forEach(records_->get(), [&](Object *rec) {
+            (void)rt.readRef(rec, 0);
+        });
+    }
+
+    std::size_t defaultHeapBytes() const override { return 4u << 20; }
+
+  private:
+    std::unique_ptr<ManagedVector> vec_type_;
+    std::unique_ptr<GlobalRoot> records_;
+    class_id_t payload_cls_ = kInvalidClassId;
+    class_id_t detail_cls_ = kInvalidClassId;
+};
+
+} // namespace
+
+void
+registerMicroleaks()
+{
+    WorkloadRegistry &reg = WorkloadRegistry::instance();
+    reg.add({"ListLeak",
+             "unbounded list of never-used elements (SDN forum, 9 LOC)", true,
+             [] { return std::make_unique<ListLeak>(); }});
+    reg.add({"SwapLeak",
+             "swap bug retires live sets into a dead container (SDN, 33 LOC)",
+             true, [] { return std::make_unique<SwapLeak>(); }});
+    reg.add({"DualLeak",
+             "growth the program re-reads every iteration (developerWorks, 55 LOC)",
+             true, [] { return std::make_unique<DualLeak>(); }});
+}
+
+} // namespace lp

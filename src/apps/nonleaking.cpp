@@ -1,0 +1,407 @@
+/**
+ * @file
+ * The non-leaking benchmark suite standing in for DaCapo /
+ * SPECjvm98 / pseudojbb in the paper's overhead experiments
+ * (Section 5, Figs. 6 and 7). We cannot run the Java suites; instead
+ * each workload here exercises a distinct allocation/read profile so
+ * the read-barrier and GC-time overheads are measured across the same
+ * axes the paper's suite spans:
+ *
+ *   suite.pointer  - pointer-chasing over a resident linked ring
+ *                    (barrier-dominated; think pmd/xalan)
+ *   suite.churn    - high allocation rate of short-lived objects
+ *                    (GC-dominated; think jess)
+ *   suite.tree     - build/traverse/drop binary trees (mixed; javac)
+ *   suite.hash     - steady-state hash table put/get/remove (hsqldb)
+ *   suite.array    - byte-array crunching, few references (compress)
+ *   suite.strings  - string create/copy/read (jython-ish)
+ *   suite.graph    - random graph rewiring and BFS touch (bloat-ish)
+ *   suite.stack    - deep push/pop of a managed vector (jack-ish)
+ */
+
+#include <string>
+
+#include "apps/leak_workload.h"
+#include "collections/fields.h"
+#include "collections/managed_hash_map.h"
+#include "collections/managed_list.h"
+#include "collections/managed_string.h"
+#include "collections/managed_vector.h"
+#include "util/rng.h"
+#include "vm/handles.h"
+
+namespace lp {
+namespace {
+
+/** Common scaffolding: a named non-leaking workload. */
+class SuiteWorkload : public LeakWorkload
+{
+  public:
+    explicit SuiteWorkload(const char *name) : name_(name) {}
+    const char *name() const override { return name_; }
+    std::size_t defaultHeapBytes() const override { return 12u << 20; }
+
+  private:
+    const char *name_;
+};
+
+// --- suite.pointer -----------------------------------------------------------
+
+class PointerChase : public SuiteWorkload
+{
+  public:
+    PointerChase() : SuiteWorkload("suite.pointer") {}
+
+    void
+    setUp(Runtime &rt) override
+    {
+        node_cls_ = rt.defineClass("suite.pointer.Node", 2, 8);
+        ring_ = std::make_unique<GlobalRoot>(rt.roots(), nullptr);
+        HandleScope scope(rt.roots());
+        Handle first = scope.handle(rt.allocate(node_cls_));
+        Handle prev = scope.handle(first.get());
+        for (int i = 1; i < kNodes; ++i) {
+            Handle node = scope.handle(rt.allocate(node_cls_));
+            rt.writeRef(prev.get(), 0, node.get());
+            prev.set(node.get());
+        }
+        rt.writeRef(prev.get(), 0, first.get());
+        ring_->set(first.get());
+    }
+
+    void
+    iterate(Runtime &rt, std::uint64_t) override
+    {
+        Object *node = ring_->get();
+        for (int i = 0; i < kSteps; ++i)
+            node = rt.readRef(node, 0);
+        ring_->set(node);
+    }
+
+  private:
+    static constexpr int kNodes = 20000;
+    static constexpr int kSteps = 40000;
+    std::unique_ptr<GlobalRoot> ring_;
+    class_id_t node_cls_ = kInvalidClassId;
+};
+
+// --- suite.churn -------------------------------------------------------------
+
+class Churn : public SuiteWorkload
+{
+  public:
+    Churn() : SuiteWorkload("suite.churn") {}
+
+    void
+    setUp(Runtime &rt) override
+    {
+        obj_cls_ = rt.defineClass("suite.churn.Temp", 1, 48);
+    }
+
+    void
+    iterate(Runtime &rt, std::uint64_t) override
+    {
+        HandleScope scope(rt.roots());
+        Handle keep = scope.handle(nullptr);
+        for (int i = 0; i < kAllocs; ++i) {
+            Handle t = scope.handle(rt.allocate(obj_cls_));
+            rt.writeRef(t.get(), 0, keep.get());
+            if (i % 16 == 0)
+                keep.set(t.get()); // short chains, then dropped
+        }
+    }
+
+  private:
+    static constexpr int kAllocs = 2000;
+    class_id_t obj_cls_ = kInvalidClassId;
+};
+
+// --- suite.tree --------------------------------------------------------------
+
+class TreeBuild : public SuiteWorkload
+{
+  public:
+    TreeBuild() : SuiteWorkload("suite.tree") {}
+
+    void
+    setUp(Runtime &rt) override
+    {
+        node_cls_ = rt.defineClass("suite.tree.Node", 2, 16);
+    }
+
+    void
+    iterate(Runtime &rt, std::uint64_t) override
+    {
+        HandleScope scope(rt.roots());
+        Handle root = scope.handle(build(rt, kDepth));
+        checksum_ += touch(rt, root.get());
+    }
+
+  private:
+    static constexpr int kDepth = 10;
+
+    Object *
+    build(Runtime &rt, int depth)
+    {
+        HandleScope scope(rt.roots());
+        Handle node = scope.handle(rt.allocate(node_cls_));
+        if (depth > 1) {
+            Handle l = scope.handle(build(rt, depth - 1));
+            Handle r = scope.handle(build(rt, depth - 1));
+            rt.writeRef(node.get(), 0, l.get());
+            rt.writeRef(node.get(), 1, r.get());
+        }
+        return node.get();
+    }
+
+    std::uint64_t
+    touch(Runtime &rt, Object *node)
+    {
+        if (!node)
+            return 0;
+        return 1 + touch(rt, rt.readRef(node, 0)) +
+               touch(rt, rt.readRef(node, 1));
+    }
+
+    class_id_t node_cls_ = kInvalidClassId;
+    std::uint64_t checksum_ = 0;
+};
+
+// --- suite.hash --------------------------------------------------------------
+
+class HashWorkout : public SuiteWorkload
+{
+  public:
+    HashWorkout() : SuiteWorkload("suite.hash") {}
+
+    void
+    setUp(Runtime &rt) override
+    {
+        map_type_ = std::make_unique<ManagedHashMap>(rt, "suite.hash");
+        value_cls_ = rt.defineClass("suite.hash.Value", 0, 40);
+        map_ = std::make_unique<GlobalRoot>(rt.roots(), map_type_->create(64));
+    }
+
+    void
+    iterate(Runtime &rt, std::uint64_t iter) override
+    {
+        HandleScope scope(rt.roots());
+        // Sliding window of live keys: steady-state size, constant
+        // churn of inserts, hits, misses and removals.
+        for (int i = 0; i < kOpsPerIter; ++i) {
+            const std::uint64_t key = iter * kOpsPerIter + i;
+            Handle v = scope.handle(rt.allocate(value_cls_));
+            map_type_->put(map_->get(), key, v.get());
+            (void)map_type_->get(map_->get(), key / 2);
+            if (key >= kWindow)
+                map_type_->remove(map_->get(), key - kWindow);
+        }
+    }
+
+  private:
+    static constexpr int kOpsPerIter = 300;
+    static constexpr std::uint64_t kWindow = 4096;
+    std::unique_ptr<ManagedHashMap> map_type_;
+    std::unique_ptr<GlobalRoot> map_;
+    class_id_t value_cls_ = kInvalidClassId;
+};
+
+// --- suite.array -------------------------------------------------------------
+
+class ArrayCrunch : public SuiteWorkload
+{
+  public:
+    ArrayCrunch() : SuiteWorkload("suite.array") {}
+
+    void
+    setUp(Runtime &rt) override
+    {
+        bytes_cls_ = rt.defineByteArrayClass("suite.array.bytes");
+        data_ = std::make_unique<GlobalRoot>(
+            rt.roots(), rt.allocateByteArray(bytes_cls_, kBytes));
+    }
+
+    void
+    iterate(Runtime &rt, std::uint64_t iter) override
+    {
+        (void)rt;
+        unsigned char *p = data_->get()->bytePtr();
+        // A toy compression-ish pass: delta encode then sum.
+        unsigned acc = static_cast<unsigned>(iter);
+        for (std::size_t i = 1; i < kBytes; ++i) {
+            acc += static_cast<unsigned>(p[i] - p[i - 1]);
+            p[i - 1] = static_cast<unsigned char>(acc);
+        }
+        checksum_ += acc;
+    }
+
+  private:
+    static constexpr std::size_t kBytes = 256 * 1024;
+    std::unique_ptr<GlobalRoot> data_;
+    class_id_t bytes_cls_ = kInvalidClassId;
+    std::uint64_t checksum_ = 0;
+};
+
+// --- suite.strings -----------------------------------------------------------
+
+class StringWork : public SuiteWorkload
+{
+  public:
+    StringWork() : SuiteWorkload("suite.strings") {}
+
+    void
+    setUp(Runtime &rt) override
+    {
+        strings_ = std::make_unique<StringFactory>(rt, "suite.strings");
+        pool_type_ = std::make_unique<ManagedVector>(rt, "suite.strings.pool");
+        pool_ = std::make_unique<GlobalRoot>(rt.roots(),
+                                             pool_type_->create(kPool));
+        HandleScope scope(rt.roots());
+        for (int i = 0; i < kPool; ++i) {
+            Handle s = scope.handle(
+                strings_->create("seed-" + std::to_string(i)));
+            pool_type_->push(pool_->get(), s.get());
+        }
+    }
+
+    void
+    iterate(Runtime &rt, std::uint64_t) override
+    {
+        HandleScope scope(rt.roots());
+        for (int i = 0; i < kOps; ++i) {
+            const std::size_t idx = rng_.nextBelow(kPool);
+            Object *s = pool_type_->get(pool_->get(), idx);
+            std::string text = strings_->text(s);
+            text += "+";
+            if (text.size() > 64)
+                text.resize(8);
+            Handle replacement = scope.handle(strings_->create(text));
+            pool_type_->set(pool_->get(), idx, replacement.get());
+        }
+    }
+
+  private:
+    static constexpr int kPool = 512;
+    static constexpr int kOps = 400;
+    std::unique_ptr<StringFactory> strings_;
+    std::unique_ptr<ManagedVector> pool_type_;
+    std::unique_ptr<GlobalRoot> pool_;
+    Rng rng_{77};
+};
+
+// --- suite.graph -------------------------------------------------------------
+
+class GraphRewire : public SuiteWorkload
+{
+  public:
+    GraphRewire() : SuiteWorkload("suite.graph") {}
+
+    void
+    setUp(Runtime &rt) override
+    {
+        node_cls_ = rt.defineClass("suite.graph.Node", 4, 8);
+        nodes_type_ = std::make_unique<ManagedVector>(rt, "suite.graph");
+        nodes_ = std::make_unique<GlobalRoot>(rt.roots(),
+                                              nodes_type_->create(kNodes));
+        HandleScope scope(rt.roots());
+        for (int i = 0; i < kNodes; ++i) {
+            Handle n = scope.handle(rt.allocate(node_cls_));
+            nodes_type_->push(nodes_->get(), n.get());
+        }
+        for (int i = 0; i < kNodes; ++i) {
+            Object *n = nodes_type_->get(nodes_->get(), i);
+            for (std::size_t e = 0; e < 4; ++e) {
+                rt.writeRef(n, e,
+                            nodes_type_->get(nodes_->get(),
+                                             rng_.nextBelow(kNodes)));
+            }
+        }
+    }
+
+    void
+    iterate(Runtime &rt, std::uint64_t) override
+    {
+        // Rewire some edges, then take random walks through the graph.
+        for (int i = 0; i < 64; ++i) {
+            Object *n = nodes_type_->get(nodes_->get(),
+                                         rng_.nextBelow(kNodes));
+            rt.writeRef(n, rng_.nextBelow(4),
+                        nodes_type_->get(nodes_->get(),
+                                         rng_.nextBelow(kNodes)));
+        }
+        Object *cur = nodes_type_->get(nodes_->get(), 0);
+        for (int s = 0; s < kWalk; ++s) {
+            Object *next = rt.readRef(cur, rng_.nextBelow(4));
+            cur = next ? next : nodes_type_->get(nodes_->get(), 0);
+        }
+    }
+
+  private:
+    static constexpr int kNodes = 5000;
+    static constexpr int kWalk = 20000;
+    std::unique_ptr<ManagedVector> nodes_type_;
+    std::unique_ptr<GlobalRoot> nodes_;
+    class_id_t node_cls_ = kInvalidClassId;
+    Rng rng_{4242};
+};
+
+// --- suite.stack -------------------------------------------------------------
+
+class StackWork : public SuiteWorkload
+{
+  public:
+    StackWork() : SuiteWorkload("suite.stack") {}
+
+    void
+    setUp(Runtime &rt) override
+    {
+        frame_cls_ = rt.defineClass("suite.stack.Frame", 1, 32);
+        stack_type_ = std::make_unique<ManagedList>(rt, "suite.stack");
+        stack_ = std::make_unique<GlobalRoot>(rt.roots(),
+                                              stack_type_->create());
+    }
+
+    void
+    iterate(Runtime &rt, std::uint64_t) override
+    {
+        HandleScope scope(rt.roots());
+        for (int i = 0; i < kDepth; ++i) {
+            Handle f = scope.handle(rt.allocate(frame_cls_));
+            stack_type_->pushFront(stack_->get(), f.get());
+        }
+        for (int i = 0; i < kDepth; ++i)
+            (void)stack_type_->popFront(stack_->get());
+    }
+
+  private:
+    static constexpr int kDepth = 600;
+    std::unique_ptr<ManagedList> stack_type_;
+    std::unique_ptr<GlobalRoot> stack_;
+    class_id_t frame_cls_ = kInvalidClassId;
+};
+
+} // namespace
+
+void
+registerNonLeakingSuite()
+{
+    WorkloadRegistry &reg = WorkloadRegistry::instance();
+    reg.add({"suite.pointer", "pointer-chasing over a resident ring", false,
+             [] { return std::make_unique<PointerChase>(); }});
+    reg.add({"suite.churn", "short-lived allocation churn", false,
+             [] { return std::make_unique<Churn>(); }});
+    reg.add({"suite.tree", "build/traverse/drop binary trees", false,
+             [] { return std::make_unique<TreeBuild>(); }});
+    reg.add({"suite.hash", "steady-state hash table operations", false,
+             [] { return std::make_unique<HashWorkout>(); }});
+    reg.add({"suite.array", "byte-array crunching, few references", false,
+             [] { return std::make_unique<ArrayCrunch>(); }});
+    reg.add({"suite.strings", "string create/copy/read", false,
+             [] { return std::make_unique<StringWork>(); }});
+    reg.add({"suite.graph", "random graph rewiring and walks", false,
+             [] { return std::make_unique<GraphRewire>(); }});
+    reg.add({"suite.stack", "deep push/pop cycles", false,
+             [] { return std::make_unique<StackWork>(); }});
+}
+
+} // namespace lp

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * PhasedLeak: a microbenchmark built to exercise the paper's noted
+ * weakness and its suggested fix (Section 6, JbbMod discussion).
+ *
+ * The program grows a session registry forever. During a warmup phase
+ * it periodically audits every session — using the Registry -> Session
+ * references at high staleness, which drives that edge type's
+ * maxStaleUse up. After the phase ends, the sessions are pure dead
+ * weight, but the recorded maxStaleUse keeps protecting them:
+ * baseline leak pruning can reclaim nothing and the program dies
+ * barely later than the unmodified runtime.
+ *
+ * With the maxStaleUse-decay extension enabled ("periodically decaying
+ * each reference type's maxStaleUse value to account for possible
+ * phased behavior"), the protection wears off once the phase is over
+ * and pruning reclaims the registry's contents — the program runs on.
+ * The ablation bench quantifies the difference.
+ */
+
+#include "apps/leak_workload.h"
+#include "collections/managed_vector.h"
+#include "vm/handles.h"
+
+namespace lp {
+namespace {
+
+class PhasedLeak : public LeakWorkload
+{
+  public:
+    const char *name() const override { return "PhasedLeak"; }
+
+    void
+    setUp(Runtime &rt) override
+    {
+        registry_type_ = std::make_unique<ManagedVector>(rt, "phased");
+        session_cls_ = rt.defineClass("phased.Session", 0, kSessionBytes);
+        scratch_cls_ = rt.defineClass("phased.Scratch", 0, kScratchBytes);
+        // Preallocate the registry's backing array so growth never
+        // re-reads the sessions (that would be an unintended use).
+        registry_ = std::make_unique<GlobalRoot>(
+            rt.roots(), registry_type_->create(kRegistryCapacity));
+    }
+
+    void
+    iterate(Runtime &rt, std::uint64_t iter) override
+    {
+        HandleScope scope(rt.roots());
+        Handle s = scope.handle(rt.allocate(session_cls_));
+        registry_type_->push(registry_->get(), s.get());
+
+        // Ordinary per-request temporaries: the allocation churn that
+        // keeps the collector running (and, near exhaustion, running
+        // often — the window in which decay can act).
+        for (int i = 0; i < 3; ++i)
+            scope.handle(rt.allocate(scratch_cls_));
+
+        // Warmup phase: sparse full audits of the registry, spaced so
+        // the Registry -> Session references are deeply stale
+        // (staleness ~6 on the 3-bit log counter) when used. That
+        // drives maxStaleUse high enough that the candidate threshold
+        // (maxStaleUse + 2) exceeds the counter's ceiling: without
+        // decay, the sessions are protected *forever*.
+        if (iter >= kFirstAudit && iter < kPhaseEnd &&
+            (iter - kFirstAudit) % kAuditPeriod == 0)
+            registry_type_->forEach(registry_->get(), [](Object *) {});
+        // After kPhaseEnd: the phase is over; nothing ever reads the
+        // sessions again.
+    }
+
+    std::size_t defaultHeapBytes() const override { return 8u << 20; }
+
+  private:
+    static constexpr std::uint32_t kSessionBytes = 1024;
+    static constexpr std::uint32_t kScratchBytes = 704;
+    static constexpr std::size_t kRegistryCapacity = 128 * 1024;
+    static constexpr std::uint64_t kFirstAudit = 3500;
+    static constexpr std::uint64_t kAuditPeriod = 2500;
+    static constexpr std::uint64_t kPhaseEnd = 6100;
+
+    std::unique_ptr<ManagedVector> registry_type_;
+    std::unique_ptr<GlobalRoot> registry_;
+    class_id_t session_cls_ = kInvalidClassId;
+    class_id_t scratch_cls_ = kInvalidClassId;
+};
+
+} // namespace
+
+void
+registerPhasedLeak()
+{
+    WorkloadRegistry::instance().add(
+        {"PhasedLeak",
+         "phased audits protect a dead registry via maxStaleUse; the decay "
+         "extension unprotects it",
+         true, [] { return std::make_unique<PhasedLeak>(); }});
+}
+
+} // namespace lp

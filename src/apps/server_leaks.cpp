@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Models of the two server leaks (paper Section 6).
+ *
+ * MySQL: a JDBC application leaks executed statements because the
+ * connection is never closed; the driver keeps them in a hash table.
+ * The table and the statements are live — growth rehashes touch every
+ * element — but each statement roots a much larger dead result
+ * structure, so pruning reclaims the results and extends the run ~35X
+ * until the live statement growth itself fills the heap.
+ *
+ * Mckoi: primarily a thread leak. Thread stacks cannot be reclaimed
+ * (they are GC roots; modeled here as pinned objects), but the dead
+ * memory the leaked threads' stacks reference can, buying the ~1.6X
+ * of Table 1.
+ */
+
+#include "apps/leak_workload.h"
+#include "collections/managed_hash_map.h"
+#include "collections/managed_list.h"
+#include "vm/handles.h"
+
+namespace lp {
+namespace {
+
+// --- MySQL --------------------------------------------------------------------
+
+class MySqlLeak : public LeakWorkload
+{
+  public:
+    const char *name() const override { return "MySQL"; }
+
+    void
+    setUp(Runtime &rt) override
+    {
+        map_type_ = std::make_unique<ManagedHashMap>(rt, "com.mysql.jdbc");
+        stmt_cls_ = rt.defineClass("com.mysql.jdbc.ServerPreparedStatement",
+                                   1, 24);
+        result_cls_ = rt.defineClass("com.mysql.jdbc.ResultSetRow", 1, 1024);
+        result_buf_cls_ = rt.defineByteArrayClass("com.mysql.jdbc.RowBuffer");
+        open_statements_ =
+            std::make_unique<GlobalRoot>(rt.roots(), map_type_->create());
+    }
+
+    void
+    iterate(Runtime &rt, std::uint64_t iter) override
+    {
+        HandleScope scope(rt.roots());
+        // One iteration stands for a batch of executed statements. The
+        // driver records each in its open-statements table; the result
+        // data is never read again (the "already-executed SQL
+        // statements" kept "unless the connection or statements are
+        // explicitly closed").
+        for (int s = 0; s < kStatementsPerIter; ++s) {
+            Handle buf = scope.handle(
+                rt.allocateByteArray(result_buf_cls_, kRowBytes));
+            Handle row = scope.handle(rt.allocate(result_cls_));
+            rt.writeRef(row.get(), 0, buf.get());
+            Handle stmt = scope.handle(rt.allocate(stmt_cls_));
+            rt.writeRef(stmt.get(), 0, row.get());
+            map_type_->put(open_statements_->get(), next_id_++, stmt.get());
+        }
+        // Periodic driver maintenance (and implicit rehash on growth)
+        // touches every statement: the table's contents stay live.
+        if (iter % kMaintenancePeriod == kMaintenancePeriod - 1) {
+            map_type_->forEach(open_statements_->get(),
+                               [](std::uint64_t, Object *) {});
+        }
+    }
+
+    std::size_t defaultHeapBytes() const override { return 8u << 20; }
+
+  private:
+    static constexpr int kStatementsPerIter = 4;
+    static constexpr std::size_t kRowBytes = 2048;
+    static constexpr std::uint64_t kMaintenancePeriod = 16;
+
+    std::unique_ptr<ManagedHashMap> map_type_;
+    std::unique_ptr<GlobalRoot> open_statements_;
+    class_id_t stmt_cls_ = kInvalidClassId;
+    class_id_t result_cls_ = kInvalidClassId;
+    class_id_t result_buf_cls_ = kInvalidClassId;
+    std::uint64_t next_id_ = 0;
+};
+
+// --- Mckoi ----------------------------------------------------------------------
+
+class MckoiLeak : public LeakWorkload
+{
+  public:
+    const char *name() const override { return "Mckoi"; }
+
+    void
+    setUp(Runtime &rt) override
+    {
+        threads_type_ = std::make_unique<ManagedList>(rt, "mckoi.ThreadPool");
+        thread_cls_ = rt.defineClass("mckoi.WorkerThread", 2, 16);
+        stack_cls_ = rt.defineByteArrayClass("mckoi.ThreadStack");
+        conn_state_cls_ = rt.defineClass("mckoi.ConnectionState", 1, 16);
+        conn_buf_cls_ = rt.defineByteArrayClass("mckoi.ConnectionBuffer");
+        threads_ =
+            std::make_unique<GlobalRoot>(rt.roots(), threads_type_->create());
+    }
+
+    void
+    iterate(Runtime &rt, std::uint64_t) override
+    {
+        HandleScope scope(rt.roots());
+        // The bug: every connection leaks its worker thread. The
+        // thread's stack is unreclaimable (a VM cannot prune through a
+        // stack; modeled as a pinned object), but the dead connection
+        // state its stack references is fair game.
+        Handle stack =
+            scope.handle(rt.allocateByteArray(stack_cls_, kStackBytes));
+        stack.get()->setPinned(true);
+        Handle buf = scope.handle(
+            rt.allocateByteArray(conn_buf_cls_, kConnBufferBytes));
+        Handle state = scope.handle(rt.allocate(conn_state_cls_));
+        rt.writeRef(state.get(), 0, buf.get());
+        Handle thread = scope.handle(rt.allocate(thread_cls_));
+        rt.writeRef(thread.get(), 0, stack.get());
+        rt.writeRef(thread.get(), 1, state.get());
+        threads_type_->pushFront(threads_->get(), thread.get());
+
+        // The scheduler scans its thread registry (threads and stacks
+        // stay reachable; the parked threads never touch their
+        // connection state again).
+        threads_type_->forEach(threads_->get(), [&](Object *t) {
+            (void)rt.readRef(t, 0); // thread -> stack
+        });
+    }
+
+    std::size_t defaultHeapBytes() const override { return 8u << 20; }
+
+  private:
+    static constexpr std::size_t kStackBytes = 14 * 1024;
+    static constexpr std::size_t kConnBufferBytes = 9 * 1024;
+
+    std::unique_ptr<ManagedList> threads_type_;
+    std::unique_ptr<GlobalRoot> threads_;
+    class_id_t thread_cls_ = kInvalidClassId;
+    class_id_t stack_cls_ = kInvalidClassId;
+    class_id_t conn_state_cls_ = kInvalidClassId;
+    class_id_t conn_buf_cls_ = kInvalidClassId;
+};
+
+} // namespace
+
+void
+registerServerLeaks()
+{
+    WorkloadRegistry &reg = WorkloadRegistry::instance();
+    reg.add({"MySQL",
+             "JDBC connection leak: live statement table, dead result rows",
+             true, [] { return std::make_unique<MySqlLeak>(); }});
+    reg.add({"Mckoi",
+             "thread leak: pinned stacks, prunable dead connection state",
+             true, [] { return std::make_unique<MckoiLeak>(); }});
+}
+
+} // namespace lp

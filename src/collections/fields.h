@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Typed access to the raw-data area of scalar managed objects.
+ *
+ * Scalar classes lay out reference slots first and untraced data bytes
+ * after; these helpers read/write plain values (counts, keys, ids) in
+ * that data area. Reference slots must go through Runtime::readRef /
+ * writeRef so the read barrier sees them — never through these.
+ */
+
+#ifndef LP_COLLECTIONS_FIELDS_H
+#define LP_COLLECTIONS_FIELDS_H
+
+#include <cstring>
+
+#include "object/object.h"
+#include "vm/runtime.h"
+
+namespace lp {
+
+/** Read a plain value of type T at @p byte_offset in the data area. */
+template <typename T>
+T
+readData(Runtime &rt, Object *obj, std::size_t byte_offset)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    const ClassInfo &cls = rt.classes().info(obj->classId());
+    LP_ASSERT(byte_offset + sizeof(T) <= cls.dataBytes, "data read OOB in ",
+              cls.name);
+    T value;
+    std::memcpy(&value,
+                static_cast<unsigned char *>(obj->dataPtr(cls)) + byte_offset,
+                sizeof(T));
+    return value;
+}
+
+/** Write a plain value of type T at @p byte_offset in the data area. */
+template <typename T>
+void
+writeData(Runtime &rt, Object *obj, std::size_t byte_offset, T value)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    const ClassInfo &cls = rt.classes().info(obj->classId());
+    LP_ASSERT(byte_offset + sizeof(T) <= cls.dataBytes, "data write OOB in ",
+              cls.name);
+    std::memcpy(static_cast<unsigned char *>(obj->dataPtr(cls)) + byte_offset,
+                &value, sizeof(T));
+}
+
+} // namespace lp
+
+#endif // LP_COLLECTIONS_FIELDS_H

@@ -1,0 +1,60 @@
+#include "collections/managed_string.h"
+
+#include <cstring>
+
+#include "collections/fields.h"
+#include "vm/handles.h"
+
+namespace lp {
+
+namespace {
+/** String layout: ref slot 0 = char[]; data = {u64 length}. */
+constexpr std::size_t kCharsSlot = 0;
+constexpr std::size_t kLengthOffset = 0;
+} // namespace
+
+StringFactory::StringFactory(Runtime &rt, const std::string &prefix)
+    : rt_(rt),
+      string_cls_(rt.defineClass(prefix + ".String", 1, sizeof(std::uint64_t))),
+      chars_cls_(rt.defineByteArrayClass(prefix + ".char[]"))
+{}
+
+Object *
+StringFactory::create(std::string_view text)
+{
+    HandleScope scope(rt_.roots());
+    Handle chars = scope.handle(rt_.allocateByteArray(chars_cls_, text.size()));
+    std::memcpy(chars.get()->bytePtr(), text.data(), text.size());
+    Handle str = scope.handle(rt_.allocate(string_cls_));
+    rt_.writeRef(str.get(), kCharsSlot, chars.get());
+    writeData<std::uint64_t>(rt_, str.get(), kLengthOffset, text.size());
+    return str.get();
+}
+
+Object *
+StringFactory::createFilled(std::size_t length, char fill)
+{
+    HandleScope scope(rt_.roots());
+    Handle chars = scope.handle(rt_.allocateByteArray(chars_cls_, length));
+    std::memset(chars.get()->bytePtr(), fill, length);
+    Handle str = scope.handle(rt_.allocate(string_cls_));
+    rt_.writeRef(str.get(), kCharsSlot, chars.get());
+    writeData<std::uint64_t>(rt_, str.get(), kLengthOffset, length);
+    return str.get();
+}
+
+std::string
+StringFactory::text(Object *str)
+{
+    Object *chars = rt_.readRef(str, kCharsSlot); // barrier: a real use
+    const std::size_t n = chars->arrayLength();
+    return std::string(reinterpret_cast<const char *>(chars->bytePtr()), n);
+}
+
+std::size_t
+StringFactory::length(Runtime &rt, Object *str) const
+{
+    return readData<std::uint64_t>(rt, str, kLengthOffset);
+}
+
+} // namespace lp

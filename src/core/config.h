@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Leak-pruning configuration knobs, matching the paper's defaults.
+ */
+
+#ifndef LP_CORE_CONFIG_H
+#define LP_CORE_CONFIG_H
+
+#include <cstddef>
+
+namespace lp {
+
+/** Dead-object prediction algorithms evaluated in paper Section 6.1. */
+enum class Predictor {
+    /**
+     * The paper's algorithm: defer stale candidate edges, size each
+     * candidate's whole data structure with the stale closure, prune
+     * the edge *type* whose structures hold the most bytes.
+     */
+    Default,
+    /**
+     * "Most stale": prune all references to every object at the
+     * highest observed staleness level. Effectively the predictor of
+     * the disk-offloading systems (LeakSurvivor, Melt, Panacea).
+     */
+    MostStale,
+    /**
+     * "Individual references": the default algorithm without the
+     * candidate queue and stale closure — each candidate edge is
+     * charged only its direct target's size, so the selector sees
+     * individual references rather than data structures.
+     */
+    IndividualRefs,
+};
+
+/** When may SELECT advance to PRUNE? (paper Section 3.1's two options) */
+enum class PruneTrigger {
+    /**
+     * Option (2), the default: prune on the next collection after a
+     * collection in the SELECT state; "nearly full" acts as the
+     * effective maximum heap size and the rest is GC headroom.
+     */
+    AfterSelect,
+    /**
+     * Option (1), evaluated in Section 6.3 / Fig. 11: prune only once
+     * the program has truly exhausted memory (a collection left the
+     * heap 100% full and the VM is about to throw an out-of-memory
+     * error). After the first exhaustion, behaves like AfterSelect.
+     */
+    OnlyWhenExhausted,
+};
+
+/**
+ * What happens to finalizers once pruning has begun (paper Section 2):
+ * pruning reclaims objects earlier than plain GC would, so running
+ * their finalizers could change semantics; but never running them may
+ * exhaust non-memory resources. "A strict leak pruning implementation
+ * would disable finalizers for the rest of the program after it
+ * started pruning ... Our implementation currently continues to call
+ * finalizers after pruning starts, which would likely be the option
+ * selected by developers and users."
+ */
+enum class FinalizerPolicy {
+    /** The paper's choice: keep calling finalizers after pruning. */
+    KeepRunning,
+    /** The strict choice: no finalizers once the first prune happens. */
+    DisableAfterFirstPrune,
+};
+
+/** Tunables for one LeakPruning instance. */
+struct LeakPruningConfig {
+    /**
+     * INACTIVE -> OBSERVE when reachable memory exceeds this fraction
+     * of the heap ("expected memory use"; 50% default because users
+     * typically run in heaps at least twice maximum reachable memory).
+     */
+    double observeThreshold = 0.5;
+
+    /** OBSERVE -> SELECT when the heap is this full ("nearly full"). */
+    double nearlyFullThreshold = 0.9;
+
+    /** SELECT -> PRUNE policy (paper options (2) and (1)). */
+    PruneTrigger pruneTrigger = PruneTrigger::AfterSelect;
+
+    /** Prediction algorithm (paper Section 6.1). */
+    Predictor predictor = Predictor::Default;
+
+    /**
+     * A reference is a pruning candidate when its target's stale
+     * counter is at least this much above the edge's maxStaleUse.
+     * The paper conservatively uses 2 because the counters only
+     * approximate the logarithm of staleness.
+     */
+    unsigned staleUseMargin = 2;
+
+    /** Edge-table capacity; the paper uses a fixed 16K-slot table. */
+    std::size_t edgeTableSlots = 16 * 1024;
+
+    /**
+     * Decay every edge type's maxStaleUse by one every this many
+     * full-heap collections; 0 disables (the paper's configuration).
+     * This is the paper's suggested future-work policy for phased
+     * behavior: an edge type used at high staleness during a finished
+     * phase stops being protected once the phase is clearly over.
+     */
+    unsigned maxStaleUseDecayPeriod = 0;
+
+    /** Log an out-of-memory warning and each pruned edge type. */
+    bool reportPruning = false;
+
+    /** Finalizer semantics once pruning begins (paper Section 2). */
+    FinalizerPolicy finalizerPolicy = FinalizerPolicy::KeepRunning;
+};
+
+} // namespace lp
+
+#endif // LP_CORE_CONFIG_H

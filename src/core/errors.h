@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Error objects modeling the Java error semantics the paper relies on
+ * (Section 2, "Exception and collection semantics").
+ *
+ * - OutOfMemoryError: thrown when the heap is exhausted and pruning
+ *   cannot (or is not allowed to) reclaim anything more.
+ * - InternalError: thrown when the program accesses a pruned
+ *   (poisoned) reference. Its cause() is the OutOfMemoryError the
+ *   program would have suffered when it first exhausted memory —
+ *   "the program already ran out of memory", so throwing here
+ *   preserves semantics.
+ */
+
+#ifndef LP_CORE_ERRORS_H
+#define LP_CORE_ERRORS_H
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace lp {
+
+/** Heap exhaustion. Corresponds to java.lang.OutOfMemoryError. */
+class OutOfMemoryError : public std::runtime_error
+{
+  public:
+    /**
+     * @param requested_bytes the allocation that could not be served.
+     * @param epoch the full-heap collection count at exhaustion.
+     */
+    OutOfMemoryError(std::size_t requested_bytes, std::uint64_t epoch)
+        : std::runtime_error("OutOfMemoryError: could not allocate " +
+                             std::to_string(requested_bytes) + " bytes after " +
+                             std::to_string(epoch) + " collections"),
+          requested_bytes_(requested_bytes), epoch_(epoch)
+    {}
+
+    std::size_t requestedBytes() const { return requested_bytes_; }
+    std::uint64_t epoch() const { return epoch_; }
+
+  private:
+    std::size_t requested_bytes_;
+    std::uint64_t epoch_;
+};
+
+/**
+ * Asynchronously-permitted internal error. Corresponds to
+ * java.lang.InternalError; carries the deferred OutOfMemoryError as
+ * its cause, mirroring err.initCause(avertedOutOfMemoryError) in the
+ * paper's barrier (Section 4.4).
+ */
+class InternalError : public std::runtime_error
+{
+  public:
+    InternalError(std::string what, std::shared_ptr<const OutOfMemoryError> cause)
+        : std::runtime_error(std::move(what)), cause_(std::move(cause))
+    {}
+
+    /** The original out-of-memory error, or null if none recorded. */
+    const std::shared_ptr<const OutOfMemoryError> &cause() const { return cause_; }
+
+  private:
+    std::shared_ptr<const OutOfMemoryError> cause_;
+};
+
+} // namespace lp
+
+#endif // LP_CORE_ERRORS_H

@@ -1,0 +1,337 @@
+#include "core/leak_pruning.h"
+
+#include "gc/tracer.h"
+#include "object/object.h"
+#include "threads/worker_pool.h"
+#include "util/logging.h"
+
+namespace lp {
+
+LeakPruning::LeakPruning(const ClassRegistry &registry, LeakPruningConfig config)
+    : registry_(registry), config_(config), machine_(config),
+      edge_table_(config.edgeTableSlots)
+{}
+
+LeakPruning::~LeakPruning() = default;
+
+std::string
+LeakPruning::edgeTypeName(EdgeType type) const
+{
+    return registry_.info(type.srcClass).name + " -> " +
+           registry_.info(type.tgtClass).name;
+}
+
+// --- CollectionPlugin -----------------------------------------------------
+
+void
+LeakPruning::beginCollection(std::uint64_t epoch)
+{
+    epoch_ = epoch;
+    // The state set at the end of the previous collection governs this
+    // one; snapshot it so endCollection's transition can't confuse us.
+    active_state_ = pinned_state_.value_or(machine_.state());
+    candidates_.clear();
+    max_stale_seen_.store(0, std::memory_order_relaxed);
+    poisoned_this_gc_.store(0, std::memory_order_relaxed);
+
+    switch (active_state_) {
+      case PruningState::Observe: ++stats_.observeCollections; break;
+      case PruningState::Select: ++stats_.selectCollections; break;
+      case PruningState::Prune: ++stats_.pruneCollections; break;
+      default: break;
+    }
+
+    // Optional phased-behavior extension: periodically forget old
+    // stale-then-used records so finished phases stop protecting
+    // their data structures forever.
+    if (config_.maxStaleUseDecayPeriod != 0 &&
+        active_state_ != PruningState::Inactive &&
+        epoch % config_.maxStaleUseDecayPeriod == 0) {
+        edge_table_.decayMaxStaleUse();
+    }
+}
+
+TracePolicy
+LeakPruning::tracePolicy() const
+{
+    // Staleness maintenance (and hence reference tagging) starts with
+    // OBSERVE; in INACTIVE the program is behaving as expected and we
+    // avoid the analysis entirely (paper Section 3.1). Edge
+    // classification only matters once SELECT/PRUNE need candidates.
+    TracePolicy policy;
+    if (active_state_ == PruningState::Inactive)
+        return policy;
+    policy.tagReferences = true;
+    policy.trackStaleness =
+        !staleness_clock_paused_.load(std::memory_order_relaxed);
+    policy.classifyEdges = active_state_ == PruningState::Select ||
+                           active_state_ == PruningState::Prune;
+    policy.notifyMarked = config_.predictor == Predictor::MostStale &&
+                          active_state_ == PruningState::Select;
+    policy.epoch = epoch_;
+    return policy;
+}
+
+void
+LeakPruning::objectMarked(Object *obj)
+{
+    // Only requested (via TracePolicy::notifyMarked) by the Most-stale
+    // predictor's SELECT state: track the highest staleness level.
+    const unsigned s = obj->staleCounter();
+    unsigned cur = max_stale_seen_.load(std::memory_order_relaxed);
+    while (s > cur &&
+           !max_stale_seen_.compare_exchange_weak(cur, s,
+                                                  std::memory_order_relaxed)) {
+    }
+}
+
+bool
+LeakPruning::isCandidate(EdgeType type, Object *tgt) const
+{
+    // Conservatively require the target to be `margin` levels staler
+    // than the edge type's most-stale-then-used record, because the
+    // counters only approximate the logarithm of staleness.
+    const unsigned stale = tgt->staleCounter();
+    if (stale < config_.staleUseMargin)
+        return false;
+    return stale >= edge_table_.maxStaleUse(type) + config_.staleUseMargin;
+}
+
+EdgeAction
+LeakPruning::classifyEdge(Object *src, const ClassInfo &src_cls, ref_t *slot,
+                          Object *tgt)
+{
+    (void)src;
+    const EdgeType type{src_cls.id, tgt->classId()};
+
+    switch (active_state_) {
+      case PruningState::Inactive:
+      case PruningState::Observe:
+        return EdgeAction::Trace;
+
+      case PruningState::Select:
+        switch (config_.predictor) {
+          case Predictor::Default:
+            // Pinned targets model memory the VM cannot reclaim (e.g.
+            // thread stacks, Mckoi leak): never a candidate.
+            if (!tgt->pinned() && isCandidate(type, tgt)) {
+                std::lock_guard<std::mutex> lock(candidates_mutex_);
+                candidates_.push_back(Candidate{slot, type, tgt});
+                ++stats_.candidatesQueued;
+                return EdgeAction::Defer;
+            }
+            return EdgeAction::Trace;
+          case Predictor::IndividualRefs:
+            // No candidate queue / stale closure: charge only the
+            // direct target's size and keep tracing.
+            if (!tgt->pinned() && isCandidate(type, tgt)) {
+                edge_table_.chargeBytes(type, tgt->sizeBytes());
+                ++stats_.candidatesQueued;
+            }
+            return EdgeAction::Trace;
+          case Predictor::MostStale:
+            return EdgeAction::Trace; // selection uses objectMarked()
+        }
+        return EdgeAction::Trace;
+
+      case PruningState::Prune:
+        if (tgt->pinned())
+            return EdgeAction::Trace;
+        if (config_.predictor == Predictor::MostStale) {
+            if (most_stale_level_ >= config_.staleUseMargin &&
+                tgt->staleCounter() >= most_stale_level_) {
+                poisoned_this_gc_.fetch_add(1, std::memory_order_relaxed);
+                return EdgeAction::Poison;
+            }
+            return EdgeAction::Trace;
+        }
+        if (selected_ && type == selected_->type && isCandidate(type, tgt)) {
+            poisoned_this_gc_.fetch_add(1, std::memory_order_relaxed);
+            return EdgeAction::Poison;
+        }
+        return EdgeAction::Trace;
+    }
+    return EdgeAction::Trace;
+}
+
+void
+LeakPruning::runStaleClosure(Tracer &tracer)
+{
+    // The stale transitive closure (paper Section 4.2, phase 2): mark
+    // objects reachable only from candidate references, computing the
+    // bytes of each candidate's data structure and charging them to
+    // its edge entry. One thread owns each candidate's subgraph;
+    // distinct candidates run on distinct collector threads.
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::uint64_t> sized{0};
+    tracer.pool().runOnAll([&](std::size_t) {
+        while (true) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= candidates_.size())
+                return;
+            const Candidate &c = candidates_[i];
+            const std::uint64_t bytes =
+                tracer.traceSubgraphCounting(c.target, this);
+            if (bytes > 0)
+                edge_table_.chargeBytes(c.type, bytes);
+            sized.fetch_add(bytes, std::memory_order_relaxed);
+        }
+    });
+    stats_.staleBytesSized += sized.load(std::memory_order_relaxed);
+}
+
+void
+LeakPruning::afterInUseClosure(Tracer &tracer)
+{
+    if (active_state_ != PruningState::Select)
+        return;
+
+    switch (config_.predictor) {
+      case Predictor::Default:
+        runStaleClosure(tracer);
+        selected_ = edge_table_.selectMaxBytesAndReset();
+        break;
+      case Predictor::IndividualRefs:
+        selected_ = edge_table_.selectMaxBytesAndReset();
+        break;
+      case Predictor::MostStale:
+        most_stale_level_ = max_stale_seen_.load(std::memory_order_relaxed);
+        // Represent "a level was found" via selected_ so the state
+        // machine's selection_available input works for all predictors.
+        selected_.reset();
+        if (most_stale_level_ >= config_.staleUseMargin)
+            selected_ = EdgeEntrySnapshot{EdgeType{}, most_stale_level_, 1};
+        break;
+    }
+
+    if (config_.reportPruning && selected_ &&
+        config_.predictor != Predictor::MostStale) {
+        inform("leak pruning selected ", edgeTypeName(selected_->type), " (",
+               selected_->bytesUsed, " stale bytes, maxStaleUse ",
+               selected_->maxStaleUse, ")");
+    }
+}
+
+void
+LeakPruning::endCollection(const CollectionOutcome &outcome)
+{
+    last_gc_state_ = active_state_;
+    last_gc_poisoned_ = poisoned_this_gc_.load(std::memory_order_relaxed);
+    stats_.refsPoisoned += last_gc_poisoned_;
+
+    if (active_state_ == PruningState::Prune) {
+        if (last_gc_poisoned_ > 0) {
+            PruneEvent ev;
+            ev.epoch = outcome.epoch;
+            ev.refsPoisoned = last_gc_poisoned_;
+            if (config_.predictor == Predictor::MostStale) {
+                ev.typeName = "<staleness level " +
+                              std::to_string(most_stale_level_) + ">";
+                ev.bytesSelected = 0;
+            } else if (selected_) {
+                ev.type = selected_->type;
+                ev.typeName = edgeTypeName(selected_->type);
+                ev.bytesSelected = selected_->bytesUsed;
+                const std::uint64_t key =
+                    (std::uint64_t{selected_->type.srcClass} << 32) |
+                    selected_->type.tgtClass;
+                if (pruned_edge_keys_.insert(key).second)
+                    ++stats_.distinctEdgeTypesPruned;
+            }
+            prune_log_.push_back(ev);
+            if (config_.reportPruning)
+                inform("leak pruning pruned ", ev.refsPoisoned,
+                       " reference(s) of type ", ev.typeName);
+        }
+        // This prune is spent; the next SELECT collection re-selects.
+        selected_.reset();
+    }
+
+    if (pinned_state_) {
+        // Evaluation mode: never prune, never advance; a pinned SELECT
+        // re-selects every collection.
+        selected_.reset();
+        return;
+    }
+    machine_.advance(outcome.fullness(), selected_.has_value());
+}
+
+bool
+LeakPruning::finalizersEnabled() const
+{
+    // The strict policy turns finalizers off from the first pruning
+    // collection onward (objects reclaimed by a prune might be live,
+    // so running their cleanup could change semantics).
+    return config_.finalizerPolicy == FinalizerPolicy::KeepRunning ||
+           (!machine_.hasPruned() && active_state_ != PruningState::Prune);
+}
+
+void
+LeakPruning::pinStateForEvaluation(std::optional<PruningState> state)
+{
+    LP_ASSERT(!state || *state != PruningState::Prune,
+              "pinning PRUNE would poison non-leaking programs");
+    pinned_state_ = state;
+}
+
+// --- read-barrier interface -------------------------------------------------
+
+void
+LeakPruning::onReferenceUsed(class_id_t src, class_id_t tgt,
+                             unsigned stale_counter)
+{
+    if (!observing())
+        return;
+    edge_table_.recordUse(EdgeType{src, tgt}, stale_counter);
+}
+
+// --- runtime interface --------------------------------------------------------
+
+void
+LeakPruning::noteMemoryExhausted(std::size_t requested_bytes,
+                                 std::uint64_t epoch)
+{
+    {
+        std::lock_guard<std::mutex> lock(oom_mutex_);
+        if (!averted_oom_) {
+            averted_oom_ =
+                std::make_shared<OutOfMemoryError>(requested_bytes, epoch);
+            if (config_.reportPruning)
+                warn("program ran out of memory (", requested_bytes,
+                     " bytes requested); leak pruning engaged");
+        }
+    }
+    machine_.noteMemoryExhausted();
+}
+
+bool
+LeakPruning::shouldKeepCollecting(unsigned rounds_so_far) const
+{
+    // Always allow the OBSERVE -> SELECT -> PRUNE pipeline to fill.
+    if (rounds_so_far < 3)
+        return true;
+    // A selection is pending: the next collection will prune.
+    if (selected_.has_value())
+        return true;
+    if (config_.predictor == Predictor::MostStale &&
+        machine_.state() == PruningState::Prune)
+        return true;
+    // The last prune poisoned something; its space is now available
+    // and, if we are still nearly full, a fresh SELECT may find more.
+    if (last_gc_state_ == PruningState::Prune && last_gc_poisoned_ > 0)
+        return true;
+    // A SELECT collection has not run yet in the current state.
+    if (machine_.state() == PruningState::Select &&
+        last_gc_state_ != PruningState::Select)
+        return true;
+    return false;
+}
+
+std::shared_ptr<const OutOfMemoryError>
+LeakPruning::avertedOutOfMemory() const
+{
+    std::lock_guard<std::mutex> lock(oom_mutex_);
+    return averted_oom_;
+}
+
+} // namespace lp

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * The leak-pruning engine: a CollectionPlugin implementing the paper's
+ * algorithm (Sections 3 and 4) plus the two alternative predictors of
+ * Section 6.1.
+ *
+ * Responsibilities:
+ *  - drive the INACTIVE/OBSERVE/SELECT/PRUNE state machine from
+ *    end-of-collection heap fullness;
+ *  - maintain per-object staleness (increment the 3-bit logarithmic
+ *    counter of every marked object when the collection number is a
+ *    multiple of 2^k);
+ *  - maintain the edge table from read-barrier use reports;
+ *  - in SELECT, divide the closure into the in-use and stale phases
+ *    via the candidate queue, size candidate data structures, and pick
+ *    the edge type holding the most stale bytes;
+ *  - in PRUNE, poison matching references so the sweep reclaims
+ *    everything only they reached;
+ *  - record the deferred OutOfMemoryError and hand it to the read
+ *    barrier as the cause of InternalErrors on poisoned accesses.
+ */
+
+#ifndef LP_CORE_LEAK_PRUNING_H
+#define LP_CORE_LEAK_PRUNING_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.h"
+#include "core/edge_table.h"
+#include "core/errors.h"
+#include "core/state_machine.h"
+#include "gc/plugin.h"
+
+namespace lp {
+
+class Tracer;
+
+/** One PRUNE-state event, for diagnostics and the paper's reporting. */
+struct PruneEvent {
+    std::uint64_t epoch = 0;       //!< collection that pruned
+    EdgeType type;                 //!< selected edge type
+    std::string typeName;          //!< "SrcClass -> TgtClass"
+    std::uint64_t refsPoisoned = 0;
+    std::uint64_t bytesSelected = 0; //!< bytesUsed that won selection
+};
+
+/** Aggregated pruning statistics. */
+struct PruningStats {
+    std::uint64_t observeCollections = 0;
+    std::uint64_t selectCollections = 0;
+    std::uint64_t pruneCollections = 0;
+    std::uint64_t candidatesQueued = 0;
+    std::uint64_t staleBytesSized = 0;  //!< bytes seen by stale closures
+    std::uint64_t refsPoisoned = 0;
+    std::uint64_t distinctEdgeTypesPruned = 0;
+};
+
+class LeakPruning : public CollectionPlugin
+{
+  public:
+    /**
+     * @param registry class metadata for edge typing and diagnostics.
+     * @param config thresholds, predictor, trigger option.
+     */
+    LeakPruning(const ClassRegistry &registry, LeakPruningConfig config);
+    ~LeakPruning() override;
+
+    LeakPruning(const LeakPruning &) = delete;
+    LeakPruning &operator=(const LeakPruning &) = delete;
+
+    // --- CollectionPlugin ------------------------------------------------
+
+    void beginCollection(std::uint64_t epoch) override;
+    TracePolicy tracePolicy() const override;
+    void objectMarked(Object *obj) override; //!< MostStale tracking only
+    EdgeAction classifyEdge(Object *src, const ClassInfo &src_cls,
+                            ref_t *slot, Object *tgt) override;
+    void afterInUseClosure(Tracer &tracer) override;
+    void endCollection(const CollectionOutcome &outcome) override;
+    bool finalizersEnabled() const override;
+
+    // --- read-barrier interface ------------------------------------------
+
+    /**
+     * The barrier's cold path observed the program using a src->tgt
+     * reference whose target's stale counter held @p stale_counter.
+     * Updates the edge type's maxStaleUse (paper Section 4.1).
+     */
+    void onReferenceUsed(class_id_t src, class_id_t tgt, unsigned stale_counter);
+
+    /** True when the barrier staleness protocol should be active. */
+    bool
+    observing() const
+    {
+        return effectiveState() != PruningState::Inactive;
+    }
+
+    /** The state governing the next collection (honors pinning). */
+    PruningState
+    effectiveState() const
+    {
+        return pinned_state_.value_or(machine_.state());
+    }
+
+    // --- runtime (allocation-path) interface -------------------------------
+
+    /**
+     * Allocation still failed after a collection: the program has
+     * exhausted memory. Records (once) the deferred OutOfMemoryError
+     * and, under the OnlyWhenExhausted trigger, unlocks pruning.
+     */
+    void noteMemoryExhausted(std::size_t requested_bytes,
+                             std::uint64_t epoch) override;
+
+    /**
+     * Pause/resume the staleness clock. The stale counter approximates
+     * how long ago the program used an object — in *program* time. The
+     * back-to-back collections of an out-of-memory retry burst execute
+     * no program at all, so counting them would age every briefly-idle
+     * live structure straight past the candidate threshold; the
+     * runtime pauses the clock for retry rounds after the first.
+     */
+    void
+    pauseStalenessClock(bool paused) override
+    {
+        staleness_clock_paused_.store(paused, std::memory_order_relaxed);
+    }
+
+    /**
+     * Should the runtime collect again rather than throw? True while a
+     * selection is pending or the last prune made progress.
+     *
+     * @param rounds_so_far collections already run for this allocation.
+     */
+    bool shouldKeepCollecting(unsigned rounds_so_far) const override;
+
+    /** The recorded first out-of-memory error (null until exhaustion). */
+    std::shared_ptr<const OutOfMemoryError> avertedOutOfMemory() const;
+
+    // --- introspection -----------------------------------------------------
+
+    PruningState state() const { return machine_.state(); }
+    const EdgeTable &edgeTable() const { return edge_table_; }
+
+    /** The edge type chosen by the last SELECT collection, if any. */
+    const std::optional<EdgeEntrySnapshot> &selectedEdge() const { return selected_; }
+
+    /** Jump the state machine (tests drive precise scenarios with it). */
+    void forceState(PruningState s) { machine_.forceState(s); }
+    const PruningStats &stats() const { return stats_; }
+    const std::vector<PruneEvent> &pruneLog() const { return prune_log_; }
+    const LeakPruningConfig &config() const { return config_; }
+
+    /** Human-readable "Src -> Tgt" name for an edge type. */
+    std::string edgeTypeName(EdgeType type) const;
+
+    /**
+     * Evaluation hook (paper Section 5): pin the engine in one state
+     * regardless of heap fullness. "Observe" measures staleness
+     * maintenance; "Select" additionally runs the stale closure and
+     * selection every collection without ever pruning. Pass nullopt to
+     * restore normal state-machine operation.
+     */
+    void pinStateForEvaluation(std::optional<PruningState> state);
+
+  private:
+    /** One deferred edge awaiting the stale closure. */
+    struct Candidate {
+        ref_t *slot;
+        EdgeType type;
+        Object *target;
+    };
+
+    bool isCandidate(EdgeType type, Object *tgt) const;
+    void runStaleClosure(Tracer &tracer);
+
+    const ClassRegistry &registry_;
+    LeakPruningConfig config_;
+    StateMachine machine_;
+    EdgeTable edge_table_;
+
+    // Per-collection context (set in beginCollection).
+    std::uint64_t epoch_ = 0;
+    PruningState active_state_ = PruningState::Inactive;
+    std::optional<PruningState> pinned_state_;
+
+    // Candidate queue for the current SELECT collection.
+    std::mutex candidates_mutex_;
+    std::vector<Candidate> candidates_;
+
+    // Selection carried from a SELECT collection to the PRUNE one.
+    std::optional<EdgeEntrySnapshot> selected_;
+
+    std::atomic<bool> staleness_clock_paused_{false};
+
+    // Most-stale predictor bookkeeping.
+    std::atomic<unsigned> max_stale_seen_{0};
+    unsigned most_stale_level_ = 0;
+
+    // Per-collection poison count (classifyEdge runs on many threads).
+    std::atomic<std::uint64_t> poisoned_this_gc_{0};
+
+    // Outcome of the most recent collection, for shouldKeepCollecting.
+    PruningState last_gc_state_ = PruningState::Inactive;
+    std::uint64_t last_gc_poisoned_ = 0;
+
+    std::shared_ptr<const OutOfMemoryError> averted_oom_;
+    mutable std::mutex oom_mutex_;
+
+    PruningStats stats_;
+    std::vector<PruneEvent> prune_log_;
+    std::unordered_set<std::uint64_t> pruned_edge_keys_;
+};
+
+} // namespace lp
+
+#endif // LP_CORE_LEAK_PRUNING_H

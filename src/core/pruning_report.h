@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Structured leak diagnostics from the pruning engine.
+ *
+ * Paper Section 3.2: "To help programmers, leak pruning optionally
+ * reports (1) an out-of-memory warning when the program first runs
+ * out of memory and (2) the data structures it prunes." This module
+ * turns the engine's prune log into that report: a ranked list of the
+ * reference types the program retained but never used again — i.e.
+ * where the leak lives and what fixing it would reclaim.
+ */
+
+#ifndef LP_CORE_PRUNING_REPORT_H
+#define LP_CORE_PRUNING_REPORT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/edge_table.h"
+
+namespace lp {
+
+class LeakPruning;
+
+/** One suspicious reference type, aggregated over all prunes. */
+struct LeakSuspect {
+    EdgeType type;
+    std::string typeName;          //!< "SrcClass -> TgtClass"
+    std::uint64_t timesSelected = 0;
+    std::uint64_t refsPoisoned = 0;
+    std::uint64_t structureBytes = 0; //!< stale bytes charged at selection
+};
+
+/** The full diagnostic picture at one point in time. */
+struct PruningReport {
+    bool memoryExhausted = false;   //!< the program hit OOM at least once
+    std::string oomMessage;         //!< the deferred error's message
+    std::uint64_t totalRefsPoisoned = 0;
+    std::uint64_t pruneCollections = 0;
+    std::size_t edgeTypesObserved = 0;
+    std::vector<LeakSuspect> suspects; //!< sorted by structureBytes desc
+
+    /** Human-readable multi-line rendering. */
+    std::string toString() const;
+};
+
+/** Aggregate @p engine's prune log into a ranked report. */
+PruningReport buildPruningReport(const LeakPruning &engine);
+
+} // namespace lp
+
+#endif // LP_CORE_PRUNING_REPORT_H

@@ -1,0 +1,65 @@
+#include "core/state_machine.h"
+
+namespace lp {
+
+const char *
+pruningStateName(PruningState s)
+{
+    switch (s) {
+      case PruningState::Inactive: return "INACTIVE";
+      case PruningState::Observe: return "OBSERVE";
+      case PruningState::Select: return "SELECT";
+      case PruningState::Prune: return "PRUNE";
+    }
+    return "?";
+}
+
+PruningState
+StateMachine::advance(double fullness, bool selection_available)
+{
+    const bool nearly_full = fullness >= config_.nearlyFullThreshold;
+    switch (state_) {
+      case PruningState::Inactive:
+        if (fullness > config_.observeThreshold)
+            state_ = PruningState::Observe;
+        break;
+
+      case PruningState::Observe:
+        if (nearly_full)
+            state_ = PruningState::Select;
+        break;
+
+      case PruningState::Select: {
+        // A SELECT-state collection just ran (candidates were sized and
+        // an edge type chosen, if any were found).
+        const bool trigger_ok =
+            config_.pruneTrigger == PruneTrigger::AfterSelect ||
+            memory_exhausted_ || has_pruned_;
+        if (selection_available && trigger_ok) {
+            state_ = PruningState::Prune;
+        } else if (!nearly_full) {
+            // Memory recovered on its own (e.g. the application
+            // released a phase's data); fall back to observing.
+            state_ = PruningState::Observe;
+        }
+        break;
+      }
+
+      case PruningState::Prune:
+        // A PRUNE-state collection just ran.
+        has_pruned_ = true;
+        state_ = nearly_full ? PruningState::Select : PruningState::Observe;
+        break;
+    }
+    return state_;
+}
+
+void
+StateMachine::reset()
+{
+    state_ = PruningState::Inactive;
+    memory_exhausted_ = false;
+    has_pruned_ = false;
+}
+
+} // namespace lp

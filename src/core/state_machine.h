@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The leak-pruning state machine (paper Figure 2 and Section 3.1).
+ *
+ * State changes happen at the end of every full-heap collection, based
+ * on how full the heap is:
+ *
+ *   INACTIVE --(reachable > observe threshold)--> OBSERVE
+ *   OBSERVE  --(heap nearly full)--------------> SELECT
+ *   SELECT   --(per PruneTrigger)--------------> PRUNE
+ *   PRUNE    --(no longer nearly full)---------> OBSERVE
+ *   PRUNE    --(still nearly full)-------------> SELECT
+ *
+ * OBSERVE is never left backwards: once entered, the application is
+ * permanently considered to be in an unexpected state. With the
+ * default trigger (option 2) SELECT always advances to PRUNE on the
+ * next collection; with OnlyWhenExhausted (option 1) it waits until
+ * the program has actually run out of memory once — and after any
+ * pruning has occurred, SELECT always advances to PRUNE.
+ *
+ * This class is pure bookkeeping (no heap access) so the transition
+ * logic is directly unit-testable.
+ */
+
+#ifndef LP_CORE_STATE_MACHINE_H
+#define LP_CORE_STATE_MACHINE_H
+
+#include <cstdint>
+
+#include "core/config.h"
+
+namespace lp {
+
+/** The four states of Figure 2. */
+enum class PruningState : std::uint8_t {
+    Inactive, //!< not observing; no analysis overhead
+    Observe,  //!< tracking staleness and edge-type usage
+    Select,   //!< next collection chooses an edge type to prune
+    Prune,    //!< next collection poisons selected references
+};
+
+/** Printable state name. */
+const char *pruningStateName(PruningState s);
+
+class StateMachine
+{
+  public:
+    explicit StateMachine(const LeakPruningConfig &config) : config_(config) {}
+
+    PruningState state() const { return state_; }
+
+    /** True once the program has exhausted memory at least once. */
+    bool memoryExhausted() const { return memory_exhausted_; }
+
+    /** True once at least one PRUNE-state collection has run. */
+    bool hasPruned() const { return has_pruned_; }
+
+    /**
+     * The VM was about to throw an out-of-memory error (allocation
+     * still failed after a collection). Unlocks PRUNE under the
+     * OnlyWhenExhausted trigger and is remembered forever.
+     */
+    void noteMemoryExhausted() { memory_exhausted_ = true; }
+
+    /**
+     * Advance the state at the end of a full-heap collection.
+     *
+     * @param fullness live bytes / capacity after this collection.
+     * @param selection_available the SELECT phase produced an edge
+     *        type to prune (PRUNE is pointless without one).
+     * @return the state that will govern the next collection.
+     */
+    PruningState advance(double fullness, bool selection_available);
+
+    /** Reset to INACTIVE (tests only). */
+    void reset();
+
+    /** Jump straight to @p s (tests and the exhaustion fast path). */
+    void forceState(PruningState s) { state_ = s; }
+
+  private:
+    LeakPruningConfig config_;
+    PruningState state_ = PruningState::Inactive;
+    bool memory_exhausted_ = false;
+    bool has_pruned_ = false;
+};
+
+} // namespace lp
+
+#endif // LP_CORE_STATE_MACHINE_H

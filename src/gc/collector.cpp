@@ -1,0 +1,84 @@
+#include "gc/collector.h"
+
+#include "heap/heap.h"
+#include "object/object.h"
+#include "threads/safepoint.h"
+#include "threads/worker_pool.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace lp {
+
+Collector::Collector(Heap &heap, const ClassRegistry &registry,
+                     RootProvider &roots, ThreadRegistry &threads,
+                     std::size_t gc_threads)
+    : heap_(heap), registry_(registry), roots_(roots), threads_(threads),
+      pool_(std::make_unique<WorkerPool>(gc_threads)),
+      tracer_(std::make_unique<Tracer>(registry, *pool_))
+{}
+
+Collector::~Collector() = default;
+
+CollectionOutcome
+Collector::collect()
+{
+    threads_.stopTheWorld();
+    const std::uint64_t pause_start = nowNanos();
+
+    ++epoch_;
+    if (plugin_)
+        plugin_->beginCollection(epoch_);
+
+    // Phase 1: the in-use transitive closure from the roots.
+    const std::uint64_t mark_start = nowNanos();
+    const TraceStats trace = tracer_->traceFromRoots(roots_, plugin_);
+
+    // Phase 2: plugin phase — in SELECT this is the stale closure and
+    // edge-type selection; in other states it is a no-op.
+    if (plugin_)
+        plugin_->afterInUseClosure(*tracer_);
+    const std::uint64_t mark_end = nowNanos();
+
+    // Phase 3: sweep. Unmarked objects are dead (either unreachable or
+    // reachable only through poisoned references); run finalizers —
+    // unless the plugin's finalizer policy has turned them off — and
+    // recycle their blocks. By default the paper (and we) keep calling
+    // finalizers after pruning starts (Section 2).
+    std::uint64_t finalized = 0;
+    const bool finalizers_on = !plugin_ || plugin_->finalizersEnabled();
+    const std::size_t live_bytes = heap_.sweep([&](Object *obj) {
+        const ClassInfo &cls = registry_.info(obj->classId());
+        if (finalizers_on && cls.hasFinalizer() &&
+            obj->tryEnqueueFinalizer()) {
+            ++finalized;
+            cls.finalizer(obj);
+        }
+    });
+    const std::uint64_t sweep_end = nowNanos();
+
+    CollectionOutcome outcome;
+    outcome.epoch = epoch_;
+    outcome.liveBytes = live_bytes;
+    outcome.committedBytes = heap_.committedBytes();
+    outcome.capacityBytes = heap_.capacity();
+    outcome.objectsMarked = trace.objectsMarked;
+    outcome.refsPoisoned = trace.refsPoisoned;
+
+    if (plugin_)
+        plugin_->endCollection(outcome);
+
+    stats_.collections += 1;
+    stats_.lastPauseNanos = sweep_end - pause_start;
+    stats_.totalPauseNanos += stats_.lastPauseNanos;
+    stats_.totalMarkNanos += mark_end - mark_start;
+    stats_.totalSweepNanos += sweep_end - mark_end;
+    stats_.objectsMarkedTotal += trace.objectsMarked;
+    stats_.objectsFinalized += finalized;
+    stats_.refsPoisonedTotal += trace.refsPoisoned;
+    stats_.lastLiveBytes = live_bytes;
+
+    threads_.resumeTheWorld();
+    return outcome;
+}
+
+} // namespace lp

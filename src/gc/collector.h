@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The stop-the-world mark-sweep collector.
+ *
+ * Orchestrates one full-heap collection: stop the world, run the
+ * in-use closure (with plugin edge hooks), let the plugin run its
+ * stale closure and selection, sweep the heap (running finalizers on
+ * reclaimed objects), and report the outcome to the plugin so the
+ * leak-pruning state machine can advance.
+ */
+
+#ifndef LP_GC_COLLECTOR_H
+#define LP_GC_COLLECTOR_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "gc/plugin.h"
+#include "gc/tracer.h"
+#include "util/stats.h"
+
+namespace lp {
+
+class Heap;
+class ThreadRegistry;
+class WorkerPool;
+
+/** Cumulative collector statistics (drives Fig. 7's GC-time series). */
+struct GcStats {
+    std::uint64_t collections = 0;
+    std::uint64_t totalPauseNanos = 0;
+    std::uint64_t totalMarkNanos = 0;
+    std::uint64_t totalSweepNanos = 0;
+    std::uint64_t objectsMarkedTotal = 0;
+    std::uint64_t objectsFinalized = 0;
+    std::uint64_t refsPoisonedTotal = 0;
+    std::size_t lastLiveBytes = 0;
+    std::uint64_t lastPauseNanos = 0;
+};
+
+class Collector
+{
+  public:
+    /**
+     * @param heap the space to collect.
+     * @param registry class layouts.
+     * @param roots root-set enumerator (the VM).
+     * @param threads mutator registry for the stop-the-world pause.
+     * @param gc_threads collector parallelism (>= 1).
+     */
+    Collector(Heap &heap, const ClassRegistry &registry, RootProvider &roots,
+              ThreadRegistry &threads, std::size_t gc_threads);
+    ~Collector();
+
+    Collector(const Collector &) = delete;
+    Collector &operator=(const Collector &) = delete;
+
+    /** Install (or clear) the collection plugin (leak pruning). */
+    void setPlugin(CollectionPlugin *plugin) { plugin_ = plugin; }
+    CollectionPlugin *plugin() const { return plugin_; }
+
+    /**
+     * Perform one full-heap collection. The caller must already hold
+     * the allocation lock (so no concurrent collection can start).
+     *
+     * @return the collection outcome (live bytes, fullness, ...).
+     */
+    CollectionOutcome collect();
+
+    const GcStats &stats() const { return stats_; }
+    std::uint64_t epoch() const { return epoch_; }
+
+  private:
+    Heap &heap_;
+    const ClassRegistry &registry_;
+    RootProvider &roots_;
+    ThreadRegistry &threads_;
+    std::unique_ptr<WorkerPool> pool_;
+    std::unique_ptr<Tracer> tracer_;
+    CollectionPlugin *plugin_ = nullptr;
+    GcStats stats_;
+    std::uint64_t epoch_ = 0;
+};
+
+} // namespace lp
+
+#endif // LP_GC_COLLECTOR_H

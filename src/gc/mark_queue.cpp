@@ -1,0 +1,80 @@
+#include "gc/mark_queue.h"
+
+#include <thread>
+
+#include "util/logging.h"
+
+namespace lp {
+
+MarkQueue::~MarkQueue()
+{
+    for (WorkChunk *c : pool_)
+        delete c;
+}
+
+void
+MarkQueue::publish(WorkChunk *chunk)
+{
+    if (chunk->empty()) {
+        delete chunk;
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    pool_.push_back(chunk);
+}
+
+WorkChunk *
+MarkQueue::take()
+{
+    while (true) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!pool_.empty()) {
+                WorkChunk *c = pool_.back();
+                pool_.pop_back();
+                return c;
+            }
+        }
+        // Pool empty: declare ourselves idle. If everyone is idle the
+        // closure has terminated; otherwise wait for more work.
+        const std::size_t idle_now = idle_.fetch_add(1) + 1;
+        if (idle_now == num_workers_) {
+            // Re-check under the idle claim: a publish may have raced.
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (pool_.empty())
+                return nullptr; // leave idle_ at num_workers_: drained
+        }
+        // Spin until work appears or global termination.
+        while (true) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (!pool_.empty()) {
+                    idle_.fetch_sub(1);
+                    WorkChunk *c = pool_.back();
+                    pool_.pop_back();
+                    return c;
+                }
+            }
+            if (idle_.load(std::memory_order_acquire) == num_workers_)
+                return nullptr;
+            std::this_thread::yield();
+        }
+    }
+}
+
+bool
+MarkQueue::drained() const
+{
+    return idle_.load(std::memory_order_acquire) == num_workers_;
+}
+
+void
+MarkQueue::reset(std::size_t num_workers)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    LP_ASSERT(pool_.empty(), "resetting a non-empty mark queue");
+    idle_.store(0, std::memory_order_release);
+    num_workers_ = num_workers;
+}
+
+} // namespace lp

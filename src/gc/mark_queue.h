@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared chunked work queue for the parallel transitive closure.
+ *
+ * Mirrors the MMTk scheme the paper piggybacks on (Section 4.5): a
+ * shared pool of work chunks from which collector threads obtain local
+ * queues, minimizing synchronization. Each chunk is a small array of
+ * object pointers; workers fill a local output chunk and publish it to
+ * the pool when full. Termination uses an idle-worker count: the
+ * closure is complete when the pool is empty and every worker is idle.
+ */
+
+#ifndef LP_GC_MARK_QUEUE_H
+#define LP_GC_MARK_QUEUE_H
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace lp {
+
+class Object;
+
+/** Fixed-size batch of gray objects. */
+struct WorkChunk {
+    static constexpr std::size_t kCapacity = 256;
+    std::size_t count = 0;
+    Object *items[kCapacity];
+
+    bool full() const { return count == kCapacity; }
+    bool empty() const { return count == 0; }
+    void push(Object *o) { items[count++] = o; }
+    Object *pop() { return items[--count]; }
+};
+
+/** The shared chunk pool plus the termination protocol. */
+class MarkQueue
+{
+  public:
+    explicit MarkQueue(std::size_t num_workers) : num_workers_(num_workers) {}
+
+    MarkQueue(const MarkQueue &) = delete;
+    MarkQueue &operator=(const MarkQueue &) = delete;
+
+    ~MarkQueue();
+
+    /** Publish a full (or final partial) chunk to the pool. */
+    void publish(WorkChunk *chunk);
+
+    /**
+     * Take a chunk of work. Blocks (spinning with yields) while the
+     * pool is empty but other workers are still active; returns
+     * nullptr once the closure has terminated globally.
+     */
+    WorkChunk *take();
+
+    /** True once all work is done and all workers have exited take(). */
+    bool drained() const;
+
+    /** Reset between closure phases. Pool must be drained. */
+    void reset(std::size_t num_workers);
+
+  private:
+    std::mutex mutex_;
+    std::vector<WorkChunk *> pool_;
+    std::atomic<std::size_t> idle_{0};
+    std::size_t num_workers_;
+};
+
+} // namespace lp
+
+#endif // LP_GC_MARK_QUEUE_H

@@ -1,0 +1,195 @@
+#include "gc/tracer.h"
+
+#include <vector>
+
+#include "object/object.h"
+#include "threads/worker_pool.h"
+#include "util/logging.h"
+
+namespace lp {
+
+namespace {
+
+/**
+ * The logarithmic staleness clock (paper Section 4.1): collection i
+ * increments a counter holding k iff 2^k divides i, so a counter of k
+ * means "last used about 2^k collections ago". Runs in the collector,
+ * on every object it marks, exactly as in the paper.
+ */
+inline void
+advanceStaleClock(Object *obj, std::uint64_t epoch)
+{
+    const unsigned k = obj->staleCounter();
+    if (k < kMaxStaleCounter && (epoch & ((std::uint64_t{1} << k) - 1)) == 0)
+        obj->setStaleCounterTraced(k + 1);
+}
+
+} // namespace
+
+Tracer::Tracer(const ClassRegistry &registry, WorkerPool &pool)
+    : registry_(registry), pool_(pool)
+{}
+
+void
+Tracer::onMarked(Object *obj, CollectionPlugin *plugin,
+                 const TracePolicy &policy)
+{
+    if (policy.trackStaleness)
+        advanceStaleClock(obj, policy.epoch);
+    if (policy.notifyMarked)
+        plugin->objectMarked(obj);
+}
+
+void
+Tracer::scanObject(Object *obj, CollectionPlugin *plugin,
+                   const TracePolicy &policy, WorkChunk *&out,
+                   MarkQueue &queue, TraceStats &stats)
+{
+    const ClassInfo &cls = registry_.info(obj->classId());
+    obj->forEachRefSlot(cls, [&](ref_t *slot) {
+        const ref_t r = *slot;
+        if (refIsNull(r))
+            return;
+        ++stats.edgesVisited;
+        if (refIsPoisoned(r)) {
+            // Pruned (or offloaded) in an earlier GC: never traced.
+            if (policy.notifyInvalidRefs)
+                plugin->invalidRefSeen(r);
+            return;
+        }
+        Object *tgt = refTarget(r);
+        EdgeAction action = EdgeAction::Trace;
+        if (policy.classifyEdges)
+            action = plugin->classifyEdge(obj, cls, slot, tgt);
+        switch (action) {
+          case EdgeAction::Trace:
+            // Avoid the store when the tag survived from an earlier
+            // collection (the barrier only clears it on use).
+            if (policy.tagReferences && !refHasStaleCheck(r))
+                *slot = refWithStaleCheck(r);
+            if (tgt->tryMark()) {
+                ++stats.objectsMarked;
+                onMarked(tgt, plugin, policy);
+                if (out->full()) {
+                    queue.publish(out);
+                    out = new WorkChunk;
+                }
+                out->push(tgt);
+            }
+            break;
+          case EdgeAction::Defer:
+            // The plugin recorded (slot, src class, target) in its
+            // candidate queue; the stale closure deals with it later.
+            // The reference still gets the stale-check tag: if the
+            // program uses it before the PRUNE collection, the barrier
+            // resets the target's staleness and the edge escapes
+            // pruning.
+            if (policy.tagReferences && !refHasStaleCheck(r))
+                *slot = refWithStaleCheck(r);
+            ++stats.edgesDeferred;
+            break;
+          case EdgeAction::Poison:
+            *slot = refPoisoned(r);
+            ++stats.refsPoisoned;
+            break;
+        }
+    });
+}
+
+void
+Tracer::workerClosure(MarkQueue &queue, CollectionPlugin *plugin,
+                      const TracePolicy &policy, TraceStats &stats)
+{
+    WorkChunk *out = new WorkChunk;
+    while (WorkChunk *in = queue.take()) {
+        while (!in->empty())
+            scanObject(in->pop(), plugin, policy, out, queue, stats);
+        // Flush partial output before asking for more input so other
+        // workers can steal it and the termination count stays honest.
+        if (!out->empty()) {
+            queue.publish(out);
+            out = new WorkChunk;
+        }
+        delete in;
+    }
+    delete out;
+}
+
+TraceStats
+Tracer::traceFromRoots(RootProvider &roots, CollectionPlugin *plugin)
+{
+    const std::size_t workers = pool_.parallelism();
+    MarkQueue queue(workers);
+    const TracePolicy policy = plugin ? plugin->tracePolicy() : TracePolicy{};
+    policy_ = policy; // remembered for traceSubgraphCounting
+
+    // Seed the queue from the root set (stacks/registers + statics).
+    TraceStats root_stats;
+    {
+        WorkChunk *out = new WorkChunk;
+        roots.forEachRoot([&](ref_t *slot) {
+            const ref_t r = *slot;
+            if (refIsNull(r) || refIsPoisoned(r))
+                return;
+            Object *tgt = refTarget(r);
+            if (tgt->tryMark()) {
+                ++root_stats.objectsMarked;
+                onMarked(tgt, plugin, policy);
+                if (out->full()) {
+                    queue.publish(out);
+                    out = new WorkChunk;
+                }
+                out->push(tgt);
+            }
+        });
+        queue.publish(out); // frees it if empty
+    }
+
+    std::vector<TraceStats> per_worker(workers);
+    pool_.runOnAll([&](std::size_t w) {
+        workerClosure(queue, plugin, policy, per_worker[w]);
+    });
+
+    TraceStats total = root_stats;
+    for (const TraceStats &s : per_worker) {
+        total.objectsMarked += s.objectsMarked;
+        total.edgesVisited += s.edgesVisited;
+        total.refsPoisoned += s.refsPoisoned;
+        total.edgesDeferred += s.edgesDeferred;
+    }
+    return total;
+}
+
+std::uint64_t
+Tracer::traceSubgraphCounting(Object *start, CollectionPlugin *plugin)
+{
+    const TracePolicy &policy = policy_;
+    if (!start->tryMark())
+        return 0; // already live via another path (or another candidate)
+    onMarked(start, plugin, policy);
+
+    std::uint64_t bytes = 0;
+    std::vector<Object *> stack;
+    stack.push_back(start);
+    while (!stack.empty()) {
+        Object *obj = stack.back();
+        stack.pop_back();
+        bytes += obj->sizeBytes();
+        const ClassInfo &cls = registry_.info(obj->classId());
+        obj->forEachRefSlot(cls, [&](ref_t *slot) {
+            const ref_t r = *slot;
+            if (refIsNull(r) || refIsPoisoned(r))
+                return;
+            if (policy.tagReferences && !refHasStaleCheck(r))
+                *slot = refWithStaleCheck(r);
+            Object *tgt = refTarget(r);
+            if (tgt->tryMark()) {
+                onMarked(tgt, plugin, policy);
+                stack.push_back(tgt);
+            }
+        });
+    }
+    return bytes;
+}
+
+} // namespace lp

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Parallel transitive-closure engine ("the tracer").
+ *
+ * Implements the two closures of paper Section 4.2 as services:
+ *
+ *  - traceFromRoots(): the in-use closure. Starts from the root set,
+ *    marks reachable objects, sets the stale-check bit on every
+ *    reference it traces, and consults the CollectionPlugin per edge
+ *    so leak pruning can defer candidates or poison selected ones.
+ *
+ *  - traceSubgraphCounting(): the stale closure's workhorse. Marks
+ *    everything (not already marked) reachable from one candidate
+ *    target, returning the bytes this call claimed — the size of the
+ *    stale data structure charged to its edge-table entry. One thread
+ *    processes each candidate's subgraph; distinct candidates run in
+ *    parallel (paper Section 4.5).
+ */
+
+#ifndef LP_GC_TRACER_H
+#define LP_GC_TRACER_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "gc/mark_queue.h"
+#include "gc/plugin.h"
+#include "object/class_info.h"
+#include "object/ref.h"
+
+namespace lp {
+
+class Object;
+class WorkerPool;
+
+/**
+ * Enumerates the root set: stacks/registers (handles) and statics
+ * (global roots). Implemented by the VM layer.
+ */
+class RootProvider
+{
+  public:
+    virtual ~RootProvider() = default;
+
+    /** Invoke @p fn on the address of every root reference slot. */
+    virtual void forEachRoot(const std::function<void(ref_t *)> &fn) = 0;
+};
+
+/** Counters from one closure run. */
+struct TraceStats {
+    std::uint64_t objectsMarked = 0;
+    std::uint64_t edgesVisited = 0;
+    std::uint64_t refsPoisoned = 0;
+    std::uint64_t edgesDeferred = 0;
+};
+
+class Tracer
+{
+  public:
+    /**
+     * @param registry class layouts for slot iteration.
+     * @param pool collector worker pool (parallelism source).
+     */
+    Tracer(const ClassRegistry &registry, WorkerPool &pool);
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /**
+     * Run the in-use closure: mark everything reachable from
+     * @p roots, classifying edges through @p plugin (may be null).
+     * Must run with the world stopped.
+     */
+    TraceStats traceFromRoots(RootProvider &roots, CollectionPlugin *plugin);
+
+    /**
+     * Serially mark the subgraph rooted at @p start, claiming objects
+     * not already marked, and return the bytes claimed. Reference
+     * slots inside the subgraph are stale-check tagged like any traced
+     * reference. Thread safe with respect to concurrent
+     * traceSubgraphCounting() calls on other candidates.
+     */
+    std::uint64_t traceSubgraphCounting(Object *start, CollectionPlugin *plugin);
+
+    const ClassRegistry &registry() const { return registry_; }
+
+    /**
+     * The collector worker pool, so plugins can parallelize their own
+     * phases (the stale closure processes distinct candidates on
+     * distinct collector threads, paper Section 4.5).
+     */
+    WorkerPool &pool() { return pool_; }
+
+  private:
+    void workerClosure(MarkQueue &queue, CollectionPlugin *plugin,
+                       const TracePolicy &policy, TraceStats &stats);
+
+    /**
+     * Scan one gray object: visit its reference slots, classify each
+     * edge, tag traced references, and push newly claimed targets.
+     */
+    void scanObject(Object *obj, CollectionPlugin *plugin,
+                    const TracePolicy &policy, WorkChunk *&out,
+                    MarkQueue &queue, TraceStats &stats);
+
+    /** Per-claim bookkeeping (staleness clock, plugin notification). */
+    void onMarked(Object *obj, CollectionPlugin *plugin,
+                  const TracePolicy &policy);
+
+    const ClassRegistry &registry_;
+    WorkerPool &pool_;
+    TracePolicy policy_; //!< policy of the in-progress collection
+};
+
+} // namespace lp
+
+#endif // LP_GC_TRACER_H

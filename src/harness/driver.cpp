@@ -1,0 +1,156 @@
+#include "harness/driver.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "core/errors.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace lp {
+
+const char *
+endReasonName(EndReason r)
+{
+    switch (r) {
+      case EndReason::IterationCap: return "iteration cap";
+      case EndReason::TimeLimit: return "time limit";
+      case EndReason::Finished: return "finished";
+      case EndReason::OutOfMemory: return "OutOfMemoryError";
+      case EndReason::PrunedAccess: return "InternalError (pruned access)";
+    }
+    return "?";
+}
+
+RunResult
+runWorkload(const WorkloadInfo &info, const DriverConfig &config)
+{
+    RunResult result;
+    result.workload = info.name;
+    result.config = config;
+
+    std::unique_ptr<LeakWorkload> workload = info.make();
+
+    RuntimeConfig rc;
+    rc.heapBytes = config.heapBytes ? config.heapBytes
+                                    : workload->defaultHeapBytes();
+    rc.gcThreads = config.gcThreads;
+    rc.enableLeakPruning = config.enablePruning;
+    rc.tolerance = config.tolerance;
+    rc.offload.diskBudgetBytes = static_cast<std::size_t>(
+        config.diskBudgetHeapMultiple * static_cast<double>(rc.heapBytes));
+    rc.barrierMode = config.enablePruning ? BarrierMode::AllTheTime
+                                          : BarrierMode::None;
+    rc.pruning.predictor = config.predictor;
+    rc.pruning.pruneTrigger = config.pruneTrigger;
+    rc.pruning.maxStaleUseDecayPeriod = config.decayPeriod;
+    rc.pruning.staleUseMargin = config.staleUseMargin;
+    rc.pruning.edgeTableSlots = config.edgeTableSlots;
+    result.heapBytes = rc.heapBytes;
+
+    Runtime rt(rc);
+    if (config.pinState && rt.pruning())
+        rt.pruning()->pinStateForEvaluation(config.pinState);
+    workload->setUp(rt);
+
+    Timer wall;
+    wall.start();
+    std::uint64_t iter = 0;
+    std::uint64_t last_gc_count = 0;
+    try {
+        for (; iter < config.maxIterations; ++iter) {
+            if (workload->finished(iter)) {
+                result.end = EndReason::Finished;
+                break;
+            }
+            const std::uint64_t t0 = nowNanos();
+            workload->iterate(rt, iter);
+            const std::uint64_t t1 = nowNanos();
+            result.maxLiveBytes = std::max(result.maxLiveBytes,
+                                           rt.lastLiveBytes());
+
+            if (config.recordSeries && iter % config.sampleEvery == 0) {
+                result.iterMillis.add(static_cast<double>(iter + 1),
+                                      static_cast<double>(t1 - t0) * 1e-6);
+                result.memoryMb.add(
+                    static_cast<double>(iter + 1),
+                    static_cast<double>(rt.lastLiveBytes()) / (1024.0 * 1024.0));
+                const std::uint64_t gc_now = rt.gcStats().collections;
+                result.gcPerIter.add(static_cast<double>(iter + 1),
+                                     static_cast<double>(gc_now - last_gc_count));
+                last_gc_count = gc_now;
+            }
+            if (wall.elapsedSeconds() > config.maxSeconds) {
+                result.end = EndReason::TimeLimit;
+                ++iter;
+                break;
+            }
+        }
+        if (iter >= config.maxIterations)
+            result.end = EndReason::IterationCap;
+    } catch (const InternalError &err) {
+        result.end = EndReason::PrunedAccess;
+        result.endDetail = err.what();
+        if (err.cause())
+            result.endDetail += std::string(" (cause: ") + err.cause()->what() + ")";
+    } catch (const OutOfMemoryError &err) {
+        result.end = EndReason::OutOfMemory;
+        result.endDetail = err.what();
+    }
+    wall.stop();
+
+    result.iterations = iter;
+    result.seconds = wall.elapsedSeconds();
+    result.gc = rt.gcStats();
+    result.barrier.reads = rt.barrierStats().reads.load();
+    result.barrier.coldPathHits = rt.barrierStats().coldPathHits.load();
+    result.barrier.staleResets = rt.barrierStats().staleResets.load();
+    result.barrier.poisonThrows = rt.barrierStats().poisonThrows.load();
+    if (rt.pruning()) {
+        result.pruning = rt.pruning()->stats();
+        result.pruneLog = rt.pruning()->pruneLog();
+        result.edgeTypeCount = rt.pruning()->edgeTable().count();
+        result.pruningReport = buildPruningReport(*rt.pruning());
+    }
+    if (rt.diskOffload())
+        result.offload = rt.diskOffload()->stats();
+
+    // The workload (with its GlobalRoots) must die before the Runtime.
+    workload.reset();
+    return result;
+}
+
+RunResult
+runWorkloadByName(const std::string &name, const DriverConfig &config)
+{
+    registerAllWorkloads();
+    const WorkloadInfo *info = WorkloadRegistry::instance().find(name);
+    if (!info)
+        fatal("unknown workload: ", name);
+    return runWorkload(*info, config);
+}
+
+std::string
+describeEffect(const RunResult &base, const RunResult &pruned)
+{
+    std::ostringstream oss;
+    const double ratio = pruned.ratioVs(base);
+    if (pruned.end == EndReason::Finished) {
+        oss << "completes normally";
+    } else if (pruned.survived()) {
+        oss << "runs >" << std::fixed << std::setprecision(1) << ratio
+            << "X longer (alive at "
+            << (pruned.end == EndReason::IterationCap ? "iteration cap"
+                                                      : "time limit")
+            << ")";
+    } else if (ratio >= 1.5) {
+        oss << "runs " << std::fixed << std::setprecision(1) << ratio
+            << "X longer";
+    } else {
+        oss << "no help (" << std::setprecision(2) << ratio << "X)";
+    }
+    return oss.str();
+}
+
+} // namespace lp

@@ -1,0 +1,344 @@
+#include "heap/heap.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace lp {
+
+std::vector<std::uint32_t>
+Heap::buildSizeClasses()
+{
+    // Fine-grained classes (8-byte steps) up to 128 bytes, 32-byte
+    // steps to 512, then ~25% geometric growth rounded to 64 bytes,
+    // capped at the large-object threshold. Worst-case internal
+    // fragmentation ~25%; a modest class count keeps the one-chunk-
+    // per-active-class overhead small in little heaps.
+    std::vector<std::uint32_t> sizes;
+    for (std::size_t s = kMinBlockBytes; s <= 128; s += 8)
+        sizes.push_back(static_cast<std::uint32_t>(s));
+    for (std::size_t s = 160; s <= 512; s += 32)
+        sizes.push_back(static_cast<std::uint32_t>(s));
+    std::size_t s = 512;
+    while (true) {
+        s = roundUp(s + s / 4, 64);
+        if (s >= kLargeThreshold) {
+            sizes.push_back(static_cast<std::uint32_t>(kLargeThreshold));
+            break;
+        }
+        sizes.push_back(static_cast<std::uint32_t>(s));
+    }
+    return sizes;
+}
+
+Heap::Heap(std::size_t capacity)
+    : num_chunks_(std::max<std::size_t>(capacity / kChunkBytes, 1)),
+      storage_(new unsigned char[num_chunks_ * kChunkBytes + kChunkBytes]),
+      class_sizes_(buildSizeClasses()),
+      partial_(class_sizes_.size()),
+      chunks_(num_chunks_)
+{
+    // Align the usable arena to a chunk-ish boundary (word alignment
+    // is all objects need; chunk alignment simplifies nothing here, so
+    // just word-align).
+    arena_base_ = roundUp(reinterpret_cast<word_t>(storage_.get()), kWordBytes);
+    free_chunks_ = num_chunks_;
+}
+
+Heap::~Heap() = default;
+
+unsigned char *
+Heap::chunkBase(std::size_t chunk) const
+{
+    return reinterpret_cast<unsigned char *>(arena_base_ + chunk * kChunkBytes);
+}
+
+bool
+Heap::contains(const void *p) const
+{
+    const auto a = reinterpret_cast<word_t>(p);
+    if (a >= arena_base_ && a < arena_base_ + capacity())
+        return true;
+    for (const LargeAlloc &alloc : large_objects_) {
+        const auto base = reinterpret_cast<word_t>(alloc.object);
+        if (a >= base && a < base + alloc.bytes)
+            return true;
+    }
+    return false;
+}
+
+std::size_t
+Heap::classFor(std::size_t bytes) const
+{
+    // Binary search the ordered class table for the smallest class
+    // that fits.
+    const auto it = std::lower_bound(class_sizes_.begin(), class_sizes_.end(),
+                                     static_cast<std::uint32_t>(bytes));
+    LP_ASSERT(it != class_sizes_.end(), "size not covered by classes");
+    return static_cast<std::size_t>(it - class_sizes_.begin());
+}
+
+std::size_t
+Heap::takeFreeChunk()
+{
+    // The large-object space draws on the same byte budget, so a free
+    // chunk may exist yet be unaffordable.
+    if (free_chunks_ == 0 || committedBytes() + kChunkBytes > capacity())
+        return npos;
+    for (std::size_t i = 0; i < num_chunks_; ++i) {
+        if (chunks_[i].kind == ChunkKind::Free)
+            return i;
+    }
+    return npos;
+}
+
+void *
+Heap::allocateSmall(std::size_t bytes)
+{
+    const std::size_t cls = classFor(std::max(bytes, kMinBlockBytes));
+    const std::uint32_t block_bytes = class_sizes_[cls];
+
+    // Find a chunk of this class with room, or commission a free one.
+    while (true) {
+        if (partial_[cls].empty()) {
+            const std::size_t chunk = takeFreeChunk();
+            if (chunk == npos)
+                return nullptr;
+            ChunkInfo &info = chunks_[chunk];
+            info.kind = ChunkKind::Small;
+            info.sizeClass = static_cast<std::uint16_t>(cls);
+            info.blockBytes = block_bytes;
+            info.numBlocks = static_cast<std::uint32_t>(kChunkBytes / block_bytes);
+            info.liveBlocks = 0;
+            info.bump = 0;
+            info.freeHead = -1;
+            info.inUse.assign((info.numBlocks + 63) / 64, 0);
+            info.inPartialList = true;
+            partial_[cls].push_back(static_cast<std::uint32_t>(chunk));
+            --free_chunks_;
+        }
+
+        const std::uint32_t chunk = partial_[cls].back();
+        ChunkInfo &info = chunks_[chunk];
+        std::int32_t block = -1;
+        if (info.freeHead >= 0) {
+            block = info.freeHead;
+            // The freed block's first word chains to the next free one.
+            info.freeHead = static_cast<std::int32_t>(*reinterpret_cast<word_t *>(
+                chunkBase(chunk) + static_cast<std::size_t>(block) * block_bytes)) - 1;
+        } else if (info.bump < info.numBlocks) {
+            block = static_cast<std::int32_t>(info.bump++);
+        } else {
+            // Chunk exhausted: retire it from the partial list.
+            info.inPartialList = false;
+            partial_[cls].pop_back();
+            continue;
+        }
+
+        info.inUse[static_cast<std::size_t>(block) / 64] |=
+            std::uint64_t{1} << (static_cast<std::size_t>(block) % 64);
+        ++info.liveBlocks;
+        used_bytes_ += block_bytes;
+        return chunkBase(chunk) + static_cast<std::size_t>(block) * block_bytes;
+    }
+}
+
+void *
+Heap::allocateLarge(std::size_t bytes)
+{
+    // Charge page-rounded bytes against the heap budget; the backing
+    // memory is a fresh host allocation (MMTk-style LOS: virtual
+    // contiguity is free, only total bytes are bounded).
+    const std::size_t charged = roundUp(bytes, 4096);
+    if (committedBytes() + charged > capacity())
+        return nullptr;
+    LargeAlloc alloc;
+    alloc.storage.reset(new (std::nothrow) unsigned char[charged + kWordBytes]);
+    if (!alloc.storage)
+        return nullptr;
+    alloc.bytes = charged;
+    alloc.object = reinterpret_cast<Object *>(
+        roundUp(reinterpret_cast<word_t>(alloc.storage.get()), kWordBytes));
+    large_objects_.push_back(std::move(alloc));
+    large_bytes_ += charged;
+    used_bytes_ += charged;
+    return large_objects_.back().object;
+}
+
+void *
+Heap::allocate(std::size_t bytes)
+{
+    void *mem = bytes > kLargeThreshold ? allocateLarge(bytes)
+                                        : allocateSmall(bytes);
+    if (!mem) {
+        ++stats_.failedAllocations;
+        return nullptr;
+    }
+    ++stats_.allocations;
+    stats_.bytesAllocated += bytes;
+    return mem;
+}
+
+void
+Heap::makeChunkFree(std::size_t chunk)
+{
+    ChunkInfo &info = chunks_[chunk];
+    info = ChunkInfo{};
+    ++free_chunks_;
+}
+
+std::size_t
+Heap::sweep(const std::function<void(Object *)> &on_dead)
+{
+    ++stats_.sweeps;
+    for (auto &list : partial_)
+        list.clear();
+
+    std::size_t live_bytes = 0;
+
+    // Large-object space: free unmarked entries, compacting the index.
+    {
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < large_objects_.size(); ++i) {
+            LargeAlloc &alloc = large_objects_[i];
+            if (alloc.object->marked()) {
+                alloc.object->clearMark();
+                live_bytes += alloc.bytes;
+                if (keep != i)
+                    large_objects_[keep] = std::move(alloc);
+                ++keep;
+            } else {
+                on_dead(alloc.object);
+                ++stats_.objectsFreed;
+                stats_.bytesFreed += alloc.bytes;
+                large_bytes_ -= alloc.bytes;
+            }
+        }
+        large_objects_.resize(keep);
+    }
+
+    for (std::size_t c = 0; c < num_chunks_; ++c) {
+        ChunkInfo &info = chunks_[c];
+        switch (info.kind) {
+          case ChunkKind::Free:
+            break;
+
+          case ChunkKind::Small: {
+            unsigned char *base = chunkBase(c);
+            for (std::uint32_t b = 0; b < info.bump; ++b) {
+                const std::uint64_t bit = std::uint64_t{1} << (b % 64);
+                if (!(info.inUse[b / 64] & bit))
+                    continue;
+                auto *obj = reinterpret_cast<Object *>(
+                    base + static_cast<std::size_t>(b) * info.blockBytes);
+                if (obj->marked()) {
+                    obj->clearMark();
+                    live_bytes += info.blockBytes;
+                } else {
+                    on_dead(obj);
+                    ++stats_.objectsFreed;
+                    stats_.bytesFreed += info.blockBytes;
+                    info.inUse[b / 64] &= ~bit;
+                    --info.liveBlocks;
+                    // Chain the block into the chunk-local free list
+                    // (stored as index+1 so 0 means "end").
+                    *reinterpret_cast<word_t *>(
+                        base + static_cast<std::size_t>(b) * info.blockBytes) =
+                        static_cast<word_t>(info.freeHead + 1);
+                    info.freeHead = static_cast<std::int32_t>(b);
+                }
+            }
+            if (info.liveBlocks == 0) {
+                makeChunkFree(c);
+            } else if (info.freeHead >= 0 || info.bump < info.numBlocks) {
+                info.inPartialList = true;
+                partial_[info.sizeClass].push_back(
+                    static_cast<std::uint32_t>(c));
+            } else {
+                info.inPartialList = false;
+            }
+            break;
+          }
+        }
+    }
+    used_bytes_ = live_bytes;
+    return live_bytes;
+}
+
+void
+Heap::forEachObject(const std::function<void(Object *)> &fn) const
+{
+    for (const LargeAlloc &alloc : large_objects_)
+        fn(alloc.object);
+    for (std::size_t c = 0; c < num_chunks_; ++c) {
+        const ChunkInfo &info = chunks_[c];
+        if (info.kind == ChunkKind::Small) {
+            for (std::uint32_t b = 0; b < info.bump; ++b) {
+                if (info.inUse[b / 64] & (std::uint64_t{1} << (b % 64))) {
+                    fn(reinterpret_cast<Object *>(
+                        chunkBase(c) +
+                        static_cast<std::size_t>(b) * info.blockBytes));
+                }
+            }
+        }
+    }
+}
+
+std::size_t
+Heap::largestFreeBlock() const
+{
+    // The LOS can satisfy any request up to the remaining byte budget
+    // (rounded down to page granularity).
+    const std::size_t budget = capacity() - committedBytes();
+    std::size_t best = roundDown(budget, 4096);
+    // A small block may still be available even with no budget for
+    // fresh chunks or pages.
+    if (best == 0) {
+        for (std::size_t cls = class_sizes_.size(); cls-- > 0;) {
+            if (!partial_[cls].empty()) {
+                best = class_sizes_[cls];
+                break;
+            }
+        }
+    }
+    return best;
+}
+
+void
+Heap::verifyIntegrity() const
+{
+    std::size_t used = 0;
+    std::size_t free_seen = 0;
+    std::size_t large_seen = 0;
+    for (const LargeAlloc &alloc : large_objects_) {
+        LP_ASSERT(alloc.bytes > 0 && alloc.object, "bad LOS entry");
+        large_seen += alloc.bytes;
+        used += alloc.bytes;
+    }
+    LP_ASSERT(large_seen == large_bytes_, "LOS byte accounting drift");
+    for (std::size_t c = 0; c < num_chunks_; ++c) {
+        const ChunkInfo &info = chunks_[c];
+        switch (info.kind) {
+          case ChunkKind::Free:
+            ++free_seen;
+            break;
+          case ChunkKind::Small: {
+            std::uint32_t bits = 0;
+            for (std::uint32_t b = 0; b < info.numBlocks; ++b) {
+                if (info.inUse[b / 64] & (std::uint64_t{1} << (b % 64))) {
+                    ++bits;
+                    LP_ASSERT(b < info.bump, "in-use bit beyond bump");
+                }
+            }
+            LP_ASSERT(bits == info.liveBlocks, "liveBlocks drift");
+            used += static_cast<std::size_t>(info.liveBlocks) * info.blockBytes;
+            break;
+          }
+        }
+    }
+    LP_ASSERT(free_seen == free_chunks_, "free chunk count drift");
+    LP_ASSERT(used == used_bytes_, "used-bytes accounting drift");
+}
+
+} // namespace lp

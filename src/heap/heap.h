@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The managed heap: a fixed-capacity, non-moving, chunked
+ * segregated-fit mark-sweep space in the MMTk mold (the paper's
+ * collector is MMTk's parallel generational mark-sweep; leak pruning
+ * needs its non-moving, hard-bounded character).
+ *
+ * Layout: the arena is divided into 16KB chunks, each either free or
+ * dedicated to one small-object size class (blocks of one fixed size,
+ * carved by a bump cursor and recycled through a chunk-local free
+ * list). Per-chunk side metadata (kind, class, in-use bitmap) lives
+ * outside the arena, so objects need no boundary tags. Objects above
+ * the large threshold live in a separate large-object space (LOS):
+ * each is its own host allocation, charged against the same capacity
+ * budget. That mirrors MMTk's LOS, where large objects draw on
+ * page-granular *virtual* memory and the heap bound is on total
+ * bytes, never on physical contiguity — essential here, because a
+ * growing hash table's backing array must stay allocatable while
+ * small live objects are sprinkled all over the arena.
+ *
+ * This bounds fragmentation the way real mark-sweep VMs do: small
+ * objects of different sizes never interleave with large allocations,
+ * and a fully-freed chunk returns to the free pool where it can back
+ * any future size class. (The first version of this heap used a
+ * single boundary-tag free list; a hash table's 64KB backing array
+ * then became unallocatable at 43% occupancy because freed 2KB
+ * payloads interleaved with live 40-byte entries. See DESIGN.md.)
+ *
+ * Not internally synchronized: the VM serializes allocation with a
+ * lock and sweeps run stop-the-world.
+ */
+
+#ifndef LP_HEAP_HEAP_H
+#define LP_HEAP_HEAP_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "object/object.h"
+#include "util/bits.h"
+
+namespace lp {
+
+/** Allocation and occupancy statistics for one heap. */
+struct HeapStats {
+    std::uint64_t allocations = 0;      //!< successful allocations
+    std::uint64_t bytesAllocated = 0;   //!< cumulative bytes handed out
+    std::uint64_t failedAllocations = 0;//!< allocations that needed help
+    std::uint64_t sweeps = 0;           //!< sweep passes performed
+    std::uint64_t objectsFreed = 0;     //!< objects reclaimed by sweeps
+    std::uint64_t bytesFreed = 0;       //!< bytes reclaimed by sweeps
+};
+
+class Heap
+{
+  public:
+    /** Chunk granule: the unit of space assignment. */
+    static constexpr std::size_t kChunkBytes = 16 * 1024;
+
+    /** Smallest block size (object header + one payload word). */
+    static constexpr std::size_t kMinBlockBytes = 3 * kWordBytes;
+
+    /** Requests above this take whole chunk runs (the LOS boundary). */
+    static constexpr std::size_t kLargeThreshold = kChunkBytes / 2;
+
+    /**
+     * @param capacity arena size in bytes (rounded down to whole
+     *        chunks, minimum one chunk); the hard memory bound that
+     *        out-of-memory semantics are defined against.
+     */
+    explicit Heap(std::size_t capacity);
+    ~Heap();
+
+    Heap(const Heap &) = delete;
+    Heap &operator=(const Heap &) = delete;
+
+    /**
+     * Allocate a block able to hold @p bytes of object (header
+     * included). Returns the object address, or nullptr when no block
+     * or chunk run fits — the caller's cue to collect.
+     */
+    void *allocate(std::size_t bytes);
+
+    /**
+     * Free unmarked objects, clear surviving objects' mark bits,
+     * return fully-empty chunks to the free pool. @p on_dead runs on
+     * each reclaimed object before its memory is recycled (the
+     * collector runs finalizers there).
+     *
+     * @return bytes occupied by surviving blocks (live occupancy).
+     */
+    std::size_t sweep(const std::function<void(Object *)> &on_dead);
+
+    /** Visit every live (allocated) object. */
+    void forEachObject(const std::function<void(Object *)> &fn) const;
+
+    /** Usable arena capacity in bytes. */
+    std::size_t capacity() const { return num_chunks_ * kChunkBytes; }
+
+    /** Bytes currently occupied by allocated blocks. */
+    std::size_t usedBytes() const { return used_bytes_; }
+
+    /**
+     * Bytes in chunks committed to a size class or large run. This is
+     * the allocator's view of consumption (a committed chunk cannot
+     * serve other classes), and what heap-fullness decisions use.
+     */
+    std::size_t
+    committedBytes() const
+    {
+        return (num_chunks_ - free_chunks_) * kChunkBytes + large_bytes_;
+    }
+
+    /** Bytes not occupied by allocated blocks. */
+    std::size_t freeBytes() const { return capacity() - used_bytes_; }
+
+    /** Occupied fraction of the arena in [0, 1]. */
+    double
+    fullness() const
+    {
+        return static_cast<double>(used_bytes_) /
+               static_cast<double>(capacity());
+    }
+
+    /**
+     * Size of the largest allocation that would currently succeed
+     * without collecting (fragmentation diagnostics).
+     */
+    std::size_t largestFreeBlock() const;
+
+    /** True iff @p p points into the arena or the large-object space. */
+    bool contains(const void *p) const;
+
+    const HeapStats &stats() const { return stats_; }
+
+    /** Panic on any metadata/accounting inconsistency (tests). */
+    void verifyIntegrity() const;
+
+  private:
+    enum class ChunkKind : std::uint8_t { Free, Small };
+
+    /** One large-object-space allocation. */
+    struct LargeAlloc {
+        std::unique_ptr<unsigned char[]> storage;
+        std::size_t bytes = 0;     //!< charged bytes (rounded up)
+        Object *object = nullptr;  //!< aligned object address
+    };
+
+    /** Side metadata for one chunk. */
+    struct ChunkInfo {
+        ChunkKind kind = ChunkKind::Free;
+        std::uint16_t sizeClass = 0;   //!< Small: index into class table
+        std::uint32_t blockBytes = 0;  //!< Small: block size
+        std::uint32_t numBlocks = 0;   //!< Small: blocks per chunk
+        std::uint32_t liveBlocks = 0;  //!< Small: blocks in use
+        std::uint32_t bump = 0;        //!< Small: blocks ever carved
+        std::int32_t freeHead = -1;    //!< Small: chunk-local free list
+        bool inPartialList = false;
+        std::vector<std::uint64_t> inUse; //!< Small: per-block bitmap
+    };
+
+    static std::vector<std::uint32_t> buildSizeClasses();
+
+    std::size_t classFor(std::size_t bytes) const;
+    unsigned char *chunkBase(std::size_t chunk) const;
+    void *allocateSmall(std::size_t bytes);
+    void *allocateLarge(std::size_t bytes);
+    std::size_t takeFreeChunk();            //!< returns index or npos
+    void makeChunkFree(std::size_t chunk);
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    std::size_t num_chunks_;
+    std::unique_ptr<unsigned char[]> storage_;
+    word_t arena_base_;
+    std::size_t used_bytes_ = 0;
+    std::size_t free_chunks_ = 0;
+    std::vector<std::uint32_t> class_sizes_;      //!< block size per class
+    std::vector<std::vector<std::uint32_t>> partial_; //!< per class
+    std::vector<ChunkInfo> chunks_;
+    std::vector<LargeAlloc> large_objects_;       //!< the LOS
+    std::size_t large_bytes_ = 0;                 //!< LOS occupancy
+    HeapStats stats_;
+};
+
+} // namespace lp
+
+#endif // LP_HEAP_HEAP_H

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * The managed object model: headers and payload layout.
+ *
+ * Every object starts with a two-word header:
+ *
+ *  word 0 (status): class id (20 bits) | stale counter (3 bits) |
+ *                   mark bit | finalizer-enqueued bit | pinned bit
+ *  word 1 (size):   total object size in bytes, header included
+ *
+ * The three-bit stale counter is the paper's logarithmic staleness
+ * clock (Section 4.1): value k means the object was last used about
+ * 2^k full-heap collections ago. The mark bit doubles as the parallel
+ * collector's claim bit (claimed via CAS so only one tracer processes
+ * each object). The pinned bit models memory the pruner must never
+ * reclaim through (e.g. thread stacks in the Mckoi leak, Section 6).
+ *
+ * Payload layouts by ObjectKind:
+ *  Scalar:    [ref slots x numRefSlots][raw data bytes]
+ *  RefArray:  [length][ref slots x length]
+ *  ByteArray: [length][raw bytes]
+ */
+
+#ifndef LP_OBJECT_OBJECT_H
+#define LP_OBJECT_OBJECT_H
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+
+#include "object/class_info.h"
+#include "object/ref.h"
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace lp {
+
+/** Bit-field positions within the status word. */
+namespace header_bits {
+constexpr unsigned kClassIdLo = 0;
+constexpr unsigned kClassIdWidth = 20;
+constexpr unsigned kStaleLo = 20;
+constexpr unsigned kStaleWidth = 3;
+constexpr unsigned kMarkBit = 23;
+constexpr unsigned kFinalizerEnqueuedBit = 24;
+constexpr unsigned kPinnedBit = 25;
+} // namespace header_bits
+
+/** Maximum value the 3-bit logarithmic stale counter can hold. */
+constexpr unsigned kMaxStaleCounter = (1u << header_bits::kStaleWidth) - 1;
+
+/**
+ * A managed heap object. Instances live only inside a HeapSpace; the
+ * class has no constructor — Heap::allocate() formats raw memory.
+ */
+class Object
+{
+  public:
+    /** Header size in bytes (status word + size word). */
+    static constexpr std::size_t kHeaderBytes = 2 * kWordBytes;
+
+    // --- formatting (called by the allocator only) -------------------
+
+    /**
+     * Format a freshly allocated block as an object: zero the payload
+     * and initialize the header.
+     */
+    static Object *
+    format(void *mem, class_id_t cls, std::size_t total_bytes)
+    {
+        auto *obj = static_cast<Object *>(mem);
+        obj->status_ = setBitField(0, header_bits::kClassIdLo,
+                                   header_bits::kClassIdWidth, cls);
+        obj->size_ = total_bytes;
+        std::memset(obj->payload(), 0, total_bytes - kHeaderBytes);
+        return obj;
+    }
+
+    // --- header accessors --------------------------------------------
+
+    class_id_t
+    classId() const
+    {
+        return static_cast<class_id_t>(bitField(
+            statusRelaxed(), header_bits::kClassIdLo, header_bits::kClassIdWidth));
+    }
+
+    /** Total size in bytes, header included. */
+    std::size_t sizeBytes() const { return size_; }
+
+    /** Current value of the logarithmic stale counter. */
+    unsigned
+    staleCounter() const
+    {
+        return static_cast<unsigned>(bitField(
+            statusRelaxed(), header_bits::kStaleLo, header_bits::kStaleWidth));
+    }
+
+    /**
+     * Set the stale counter with a CAS loop so concurrent updates of
+     * other header bits (mark, finalizer) are not lost — the paper's
+     * barrier performs the same atomic header update (Section 4.1).
+     */
+    void
+    setStaleCounter(unsigned k)
+    {
+        LP_ASSERT(k <= kMaxStaleCounter);
+        std::atomic_ref<word_t> st(status_);
+        word_t old = st.load(std::memory_order_relaxed);
+        while (true) {
+            const word_t next = setBitField(old, header_bits::kStaleLo,
+                                            header_bits::kStaleWidth, k);
+            if (next == old)
+                return;
+            if (st.compare_exchange_weak(old, next, std::memory_order_relaxed))
+                return;
+        }
+    }
+
+    /** Zero the stale counter (the read barrier's cold-path action). */
+    void clearStaleCounter() { setStaleCounter(0); }
+
+    /**
+     * Trace-time stale-counter update. Only the collector thread that
+     * claimed this object (won tryMark) calls it, so a plain atomic
+     * store suffices; a racing tryMark on an already-marked object can
+     * at worst revert this one increment, which the logarithmic clock
+     * tolerates (the paper's prototype is similarly relaxed about
+     * bookkeeping races, Section 4.5).
+     */
+    void
+    setStaleCounterTraced(unsigned k)
+    {
+        std::atomic_ref<word_t> st(status_);
+        st.store(setBitField(st.load(std::memory_order_relaxed),
+                             header_bits::kStaleLo, header_bits::kStaleWidth,
+                             k),
+                 std::memory_order_relaxed);
+    }
+
+    bool marked() const { return testBit(header_bits::kMarkBit); }
+
+    /**
+     * Claim this object for tracing: atomically set the mark bit.
+     * @return true iff this call set the bit (the caller owns tracing).
+     */
+    bool
+    tryMark()
+    {
+        return trySetBit(header_bits::kMarkBit);
+    }
+
+    /** Clear the mark bit (done by the sweeper between collections). */
+    void clearMark() { clearBit(header_bits::kMarkBit); }
+
+    bool finalizerEnqueued() const { return testBit(header_bits::kFinalizerEnqueuedBit); }
+    bool tryEnqueueFinalizer() { return trySetBit(header_bits::kFinalizerEnqueuedBit); }
+
+    bool pinned() const { return testBit(header_bits::kPinnedBit); }
+    void setPinned(bool on) { on ? (void)trySetBit(header_bits::kPinnedBit)
+                                 : clearBit(header_bits::kPinnedBit); }
+
+    // --- payload access (layout depends on the ClassInfo) -------------
+
+    /** First payload word, immediately after the header. */
+    word_t *payload() { return reinterpret_cast<word_t *>(this) + 2; }
+    const word_t *payload() const { return reinterpret_cast<const word_t *>(this) + 2; }
+
+    /** Array length (RefArray/ByteArray only; stored in payload[0]). */
+    std::size_t arrayLength() const { return payload()[0]; }
+    void setArrayLength(std::size_t n) { payload()[0] = n; }
+
+    /**
+     * Address of reference slot @p i. For Scalar classes slots 0..n-1
+     * lead the payload; for RefArray they follow the length word.
+     */
+    ref_t *
+    refSlotAddr(const ClassInfo &cls, std::size_t i)
+    {
+        if (cls.kind == ObjectKind::Scalar) {
+            LP_ASSERT(i < cls.numRefSlots, "ref slot out of range in ",
+                      cls.name);
+            return payload() + i;
+        }
+        LP_ASSERT(cls.kind == ObjectKind::RefArray, "no ref slots in ", cls.name);
+        LP_ASSERT(i < arrayLength(), "array index out of range in ", cls.name);
+        return payload() + 1 + i;
+    }
+
+    /** Number of reference slots given this object's class. */
+    std::size_t
+    refSlotCount(const ClassInfo &cls) const
+    {
+        switch (cls.kind) {
+          case ObjectKind::Scalar:
+            return cls.numRefSlots;
+          case ObjectKind::RefArray:
+            return arrayLength();
+          case ObjectKind::ByteArray:
+            return 0;
+        }
+        return 0;
+    }
+
+    /** Raw (untraced) data area for Scalar classes. */
+    void *
+    dataPtr(const ClassInfo &cls)
+    {
+        LP_ASSERT(cls.kind == ObjectKind::Scalar);
+        return payload() + cls.numRefSlots;
+    }
+
+    /** Raw byte area for ByteArray classes. */
+    unsigned char *
+    bytePtr()
+    {
+        return reinterpret_cast<unsigned char *>(payload() + 1);
+    }
+
+    /** Visit every reference-slot address: fn(ref_t *slot). */
+    template <typename Fn>
+    void
+    forEachRefSlot(const ClassInfo &cls, Fn &&fn)
+    {
+        const std::size_t n = refSlotCount(cls);
+        ref_t *base = (cls.kind == ObjectKind::Scalar) ? payload()
+                                                       : payload() + 1;
+        for (std::size_t i = 0; i < n; ++i)
+            fn(base + i);
+    }
+
+    // --- total size computation ---------------------------------------
+
+    /** Allocation size for a scalar instance of @p cls. */
+    static std::size_t
+    scalarSize(const ClassInfo &cls)
+    {
+        return roundUp(kHeaderBytes + cls.numRefSlots * kWordBytes +
+                           cls.dataBytes,
+                       kWordBytes);
+    }
+
+    /** Allocation size for a RefArray of @p length elements. */
+    static std::size_t
+    refArraySize(std::size_t length)
+    {
+        return kHeaderBytes + kWordBytes + length * kWordBytes;
+    }
+
+    /** Allocation size for a ByteArray of @p length bytes. */
+    static std::size_t
+    byteArraySize(std::size_t length)
+    {
+        return roundUp(kHeaderBytes + kWordBytes + length, kWordBytes);
+    }
+
+  private:
+    word_t statusRelaxed() const
+    {
+        return std::atomic_ref<const word_t>(status_).load(std::memory_order_relaxed);
+    }
+
+    bool
+    testBit(unsigned bit) const
+    {
+        return (statusRelaxed() >> bit) & 1;
+    }
+
+    bool
+    trySetBit(unsigned bit)
+    {
+        std::atomic_ref<word_t> st(status_);
+        const word_t mask = word_t{1} << bit;
+        const word_t old = st.fetch_or(mask, std::memory_order_acq_rel);
+        return (old & mask) == 0;
+    }
+
+    void
+    clearBit(unsigned bit)
+    {
+        std::atomic_ref<word_t> st(status_);
+        st.fetch_and(~(word_t{1} << bit), std::memory_order_acq_rel);
+    }
+
+    word_t status_;
+    word_t size_;
+};
+
+static_assert(sizeof(Object) == Object::kHeaderBytes,
+              "Object must be exactly the two header words");
+
+} // namespace lp
+
+#endif // LP_OBJECT_OBJECT_H

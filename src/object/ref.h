@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tagged reference words.
+ *
+ * Objects in the managed heap are word aligned, so the two low-order
+ * bits of every object-to-object reference are free. Leak pruning uses
+ * them exactly as the paper does (Sections 4.1 and 4.3):
+ *
+ *  - bit 0 (the "stale-check" bit) is set by the collector on every
+ *    reference it traces; the read barrier's fast path tests it, and
+ *    the cold path clears it and zeroes the target's stale counter.
+ *  - bit 1 (the "poison" bit) marks a pruned reference; the barrier
+ *    throws an InternalError if the program loads a poisoned
+ *    reference. A poisoned reference also has bit 0 set (value 0b11)
+ *    so the single fast-path test covers both cases.
+ *
+ * A reference slot in the heap therefore holds the address of the
+ * target's header OR'd with its tag bits, or 0 for null.
+ */
+
+#ifndef LP_OBJECT_REF_H
+#define LP_OBJECT_REF_H
+
+#include "util/bits.h"
+
+namespace lp {
+
+class Object;
+
+/** A raw reference slot value as stored in the heap. */
+using ref_t = word_t;
+
+/** Tag bit set by the collector on traced references. */
+constexpr ref_t kStaleCheckBit = 0x1;
+
+/** Tag bit identifying a pruned (poisoned) reference. */
+constexpr ref_t kPoisonBit = 0x2;
+
+/** Mask covering both tag bits. */
+constexpr ref_t kTagMask = kStaleCheckBit | kPoisonBit;
+
+/** Strip tag bits, yielding the target object (or nullptr). */
+inline Object *
+refTarget(ref_t r)
+{
+    return reinterpret_cast<Object *>(r & ~kTagMask);
+}
+
+/** Build an untagged reference word from an object pointer. */
+inline ref_t
+makeRef(const Object *obj)
+{
+    return reinterpret_cast<ref_t>(obj);
+}
+
+/** True iff the slot holds null (tag bits are never set on null). */
+inline bool
+refIsNull(ref_t r)
+{
+    return (r & ~kTagMask) == 0;
+}
+
+/** True iff the collector's stale-check bit is set. */
+inline bool
+refHasStaleCheck(ref_t r)
+{
+    return (r & kStaleCheckBit) != 0;
+}
+
+/** True iff the reference was pruned. */
+inline bool
+refIsPoisoned(ref_t r)
+{
+    return (r & kPoisonBit) != 0;
+}
+
+/** Reference with the stale-check bit set (collector trace output). */
+inline ref_t
+refWithStaleCheck(ref_t r)
+{
+    return refIsNull(r) ? r : (r | kStaleCheckBit);
+}
+
+/** Reference with both tag bits set: a poisoned reference. */
+inline ref_t
+refPoisoned(ref_t r)
+{
+    return r | kPoisonBit | kStaleCheckBit;
+}
+
+/** Reference with all tag bits cleared. */
+inline ref_t
+refClean(ref_t r)
+{
+    return r & ~kTagMask;
+}
+
+} // namespace lp
+
+#endif // LP_OBJECT_REF_H

@@ -1,0 +1,158 @@
+#include "threads/safepoint.h"
+
+#include <thread>
+
+#include "util/logging.h"
+
+namespace lp {
+
+namespace {
+
+/** Stable id for the calling thread. */
+std::uint64_t
+selfId()
+{
+    return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+// Per-thread cache of the registry entry, avoiding a mutex on the
+// allocation fast path. Keyed on a process-unique registry id (not
+// the address, which a later Runtime could reuse).
+thread_local std::uint64_t tls_registry_id = 0;
+thread_local void *tls_state = nullptr;
+
+std::atomic<std::uint64_t> next_registry_id{1};
+
+} // namespace
+
+ThreadRegistry::ThreadRegistry()
+    : registry_id_(next_registry_id.fetch_add(1, std::memory_order_relaxed))
+{}
+
+void
+ThreadRegistry::registerMutator()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    // A newly arriving mutator must not start running mid-pause.
+    cv_.wait(lock, [&] { return !stop_requested_.load(std::memory_order_relaxed); });
+    auto &entry = threads_[selfId()];
+    if (!entry)
+        entry = std::make_unique<ThreadState>();
+    entry->state = State::Running;
+    entry->lastAllocation = 0;
+    tls_registry_id = registry_id_;
+    tls_state = entry.get();
+}
+
+void
+ThreadRegistry::unregisterMutator()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    threads_.erase(selfId());
+    if (tls_registry_id == registry_id_) {
+        tls_registry_id = 0;
+        tls_state = nullptr;
+    }
+    cv_.notify_all(); // a stopping collector may be waiting on us
+}
+
+ThreadRegistry::ThreadState *
+ThreadRegistry::myState()
+{
+    if (tls_registry_id == registry_id_ && tls_state)
+        return static_cast<ThreadState *>(tls_state);
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = threads_.find(selfId());
+    if (it == threads_.end())
+        return nullptr; // unregistered (e.g. GC worker): no slot
+    tls_registry_id = registry_id_;
+    tls_state = it->second.get();
+    return it->second.get();
+}
+
+void
+ThreadRegistry::noteAllocation(ref_t obj)
+{
+    if (ThreadState *state = myState())
+        state->lastAllocation = obj;
+}
+
+void
+ThreadRegistry::forEachAllocationRoot(const std::function<void(ref_t *)> &fn)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (auto &[id, state] : threads_)
+        fn(&state->lastAllocation);
+}
+
+void
+ThreadRegistry::park()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = threads_.find(selfId());
+    if (it == threads_.end())
+        return; // unregistered threads (e.g. GC workers) never park
+    it->second->state = State::Parked;
+    cv_.notify_all();
+    cv_.wait(lock, [&] { return !stop_requested_.load(std::memory_order_relaxed); });
+    it->second->state = State::Running;
+}
+
+void
+ThreadRegistry::enterBlocked()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = threads_.find(selfId());
+    if (it == threads_.end())
+        return;
+    it->second->state = State::Blocked;
+    cv_.notify_all();
+}
+
+void
+ThreadRegistry::exitBlocked()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = threads_.find(selfId());
+    if (it == threads_.end())
+        return;
+    // If a pause is in progress we must not resume mutating under it.
+    cv_.wait(lock, [&] { return !stop_requested_.load(std::memory_order_relaxed); });
+    it->second->state = State::Running;
+}
+
+void
+ThreadRegistry::stopTheWorld()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    LP_ASSERT(!stop_requested_.load(std::memory_order_relaxed),
+              "nested stop-the-world");
+    stop_requested_.store(true, std::memory_order_release);
+    const std::uint64_t self = selfId();
+    cv_.wait(lock, [&] {
+        for (const auto &[id, state] : threads_) {
+            if (id != self && state->state == State::Running)
+                return false;
+        }
+        return true;
+    });
+    world_stopped_.store(true, std::memory_order_release);
+}
+
+void
+ThreadRegistry::resumeTheWorld()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    world_stopped_.store(false, std::memory_order_release);
+    stop_requested_.store(false, std::memory_order_release);
+    cv_.notify_all();
+}
+
+std::size_t
+ThreadRegistry::mutatorCount() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return threads_.size();
+}
+
+} // namespace lp

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Cooperative stop-the-world safepoints for mutator threads.
+ *
+ * The paper's collector is stop-the-world (Section 5): all mutators
+ * must be stopped before the collector traces or sweeps. We implement
+ * the standard cooperative scheme:
+ *
+ *  - every mutator thread registers with the ThreadRegistry
+ *    (RAII via MutatorScope);
+ *  - mutators poll pollSafepoint() at allocation sites and in the read
+ *    barrier, parking when a stop is requested;
+ *  - threads performing long non-heap work wrap it in a BlockedScope,
+ *    which counts as being at a safepoint for its duration;
+ *  - the collecting thread calls stopTheWorld(), which blocks until
+ *    every other registered mutator is parked or blocked, runs the
+ *    collection, and then resumeTheWorld().
+ */
+
+#ifndef LP_THREADS_SAFEPOINT_H
+#define LP_THREADS_SAFEPOINT_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "object/ref.h"
+
+namespace lp {
+
+/**
+ * Registry of mutator threads plus the stop-the-world protocol.
+ * One instance per Runtime.
+ */
+class ThreadRegistry
+{
+  public:
+    ThreadRegistry();
+
+    ThreadRegistry(const ThreadRegistry &) = delete;
+    ThreadRegistry &operator=(const ThreadRegistry &) = delete;
+
+    /** Register the calling thread as a mutator. */
+    void registerMutator();
+
+    /** Unregister the calling thread (must not hold the world). */
+    void unregisterMutator();
+
+    /**
+     * Fast check-and-park. Called from allocation paths and the read
+     * barrier; parks the calling thread while a stop is in progress.
+     */
+    void
+    pollSafepoint()
+    {
+        if (stop_requested_.load(std::memory_order_acquire)) [[unlikely]]
+            park();
+    }
+
+    /** Enter a blocked (safepoint-equivalent) region. */
+    void enterBlocked();
+
+    /** Leave a blocked region, parking first if a stop is pending. */
+    void exitBlocked();
+
+    /**
+     * Stop all other registered mutators. The caller becomes the "VM
+     * thread" for the duration. Must be paired with resumeTheWorld().
+     * Only one thread may hold the world at a time; in this runtime
+     * that is guaranteed by the allocation lock.
+     */
+    void stopTheWorld();
+
+    /** Release all mutators parked by stopTheWorld(). */
+    void resumeTheWorld();
+
+    /** True while a stop-the-world pause is in progress. */
+    bool worldStopped() const { return world_stopped_.load(std::memory_order_acquire); }
+
+    /** Number of registered mutators (diagnostics). */
+    std::size_t mutatorCount() const;
+
+    /**
+     * Record the calling mutator's most recent allocation. A fresh
+     * object is invisible to the collector until the caller stores it
+     * into a handle or a field; if another thread triggers a
+     * collection inside that window the object would be swept. This
+     * slot is part of the root set (a library runtime's stand-in for
+     * the register/stack scanning a real VM does), closing the window.
+     */
+    void noteAllocation(ref_t obj);
+
+    /** Visit every thread's last-allocation root slot (collector). */
+    void forEachAllocationRoot(const std::function<void(ref_t *)> &fn);
+
+  private:
+    enum class State : std::uint8_t { Running, Parked, Blocked };
+
+    /** Per-registered-thread bookkeeping; address-stable. */
+    struct ThreadState {
+        State state = State::Running;
+        ref_t lastAllocation = 0;
+    };
+
+    void park();
+    ThreadState *myState();
+
+    //! Process-unique id; the TLS cache keys on it rather than the
+    //! object address, which could be reused by a later Runtime.
+    const std::uint64_t registry_id_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::unordered_map<std::uint64_t, std::unique_ptr<ThreadState>> threads_;
+    std::atomic<bool> stop_requested_{false};
+    std::atomic<bool> world_stopped_{false};
+};
+
+/** RAII mutator registration for a std::thread body. */
+class MutatorScope
+{
+  public:
+    explicit MutatorScope(ThreadRegistry &reg) : reg_(reg)
+    {
+        reg_.registerMutator();
+    }
+
+    ~MutatorScope() { reg_.unregisterMutator(); }
+
+    MutatorScope(const MutatorScope &) = delete;
+    MutatorScope &operator=(const MutatorScope &) = delete;
+
+  private:
+    ThreadRegistry &reg_;
+};
+
+/** RAII blocked region (safepoint-equivalent native work). */
+class BlockedScope
+{
+  public:
+    explicit BlockedScope(ThreadRegistry &reg) : reg_(reg)
+    {
+        reg_.enterBlocked();
+    }
+
+    ~BlockedScope() { reg_.exitBlocked(); }
+
+    BlockedScope(const BlockedScope &) = delete;
+    BlockedScope &operator=(const BlockedScope &) = delete;
+
+  private:
+    ThreadRegistry &reg_;
+};
+
+} // namespace lp
+
+#endif // LP_THREADS_SAFEPOINT_H

@@ -1,0 +1,69 @@
+#include "threads/worker_pool.h"
+
+#include "util/logging.h"
+
+namespace lp {
+
+WorkerPool::WorkerPool(std::size_t num_workers)
+{
+    LP_ASSERT(num_workers >= 1, "need at least the calling thread");
+    for (std::size_t i = 0; i + 1 < num_workers; ++i)
+        pool_threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    start_cv_.notify_all();
+    for (std::thread &t : pool_threads_)
+        t.join();
+}
+
+void
+WorkerPool::runOnAll(const std::function<void(std::size_t)> &fn)
+{
+    std::size_t my_epoch;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = &fn;
+        ++epoch_;
+        my_epoch = epoch_;
+        running_ = pool_threads_.size();
+    }
+    start_cv_.notify_all();
+
+    // The caller participates as the highest worker index.
+    fn(pool_threads_.size());
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return running_ == 0 && epoch_ == my_epoch; });
+    job_ = nullptr;
+}
+
+void
+WorkerPool::workerLoop(std::size_t index)
+{
+    std::size_t seen_epoch = 0;
+    while (true) {
+        const std::function<void(std::size_t)> *job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            start_cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+            if (shutdown_)
+                return;
+            seen_epoch = epoch_;
+            job = job_;
+        }
+        (*job)(index);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --running_;
+        }
+        done_cv_.notify_all();
+    }
+}
+
+} // namespace lp

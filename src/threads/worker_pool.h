@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Persistent worker pool for parallel garbage collection.
+ *
+ * The paper's collector is parallel (Section 4.5): multiple collector
+ * threads drain a shared pool of work. This pool keeps its threads
+ * alive across collections (spawning threads per GC would dominate
+ * pause times) and runs one job on every worker plus the caller.
+ */
+
+#ifndef LP_THREADS_WORKER_POOL_H
+#define LP_THREADS_WORKER_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lp {
+
+/**
+ * Fixed-size pool of collector threads.
+ *
+ * runOnAll(fn) invokes fn(worker_index) on every pool thread and on
+ * the calling thread (as the last index), returning when all have
+ * finished. Work distribution inside fn is the caller's business
+ * (the tracer uses a shared chunked work queue).
+ */
+class WorkerPool
+{
+  public:
+    /**
+     * @param num_workers total parallelism including the caller; a
+     *        value of 1 means no pool threads are created.
+     */
+    explicit WorkerPool(std::size_t num_workers);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Total parallelism (pool threads + caller). */
+    std::size_t parallelism() const { return pool_threads_.size() + 1; }
+
+    /** Run @p fn on all workers and the caller; blocks until done. */
+    void runOnAll(const std::function<void(std::size_t)> &fn);
+
+  private:
+    void workerLoop(std::size_t index);
+
+    std::mutex mutex_;
+    std::condition_variable start_cv_;
+    std::condition_variable done_cv_;
+    const std::function<void(std::size_t)> *job_ = nullptr;
+    std::size_t epoch_ = 0;
+    std::size_t running_ = 0;
+    bool shutdown_ = false;
+    std::vector<std::thread> pool_threads_;
+};
+
+} // namespace lp
+
+#endif // LP_THREADS_WORKER_POOL_H

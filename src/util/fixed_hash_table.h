@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Fixed-capacity closed-hashing (open-addressing) table.
+ *
+ * This mirrors the data structure the paper uses for its edge table
+ * (Section 6.2: "a fixed-size table with 16K slots using closed
+ * hashing"): linear probing, no deletion, insert-once keys whose values
+ * are updated in place. The leak-pruning edge table is a thin wrapper
+ * around this template; it is also used for native-side interning.
+ */
+
+#ifndef LP_UTIL_FIXED_HASH_TABLE_H
+#define LP_UTIL_FIXED_HASH_TABLE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace lp {
+
+/**
+ * Closed-hash table with a fixed power-of-two slot count.
+ *
+ * @tparam Key key type; must be equality comparable.
+ * @tparam Value payload stored alongside each key.
+ * @tparam Hasher callable mapping Key to uint64_t.
+ *
+ * Keys are never removed; when the table is full, insertion fails and
+ * the caller decides what to do (the paper's edge table simply stops
+ * adding new edge types, which is safe because pruning then ignores
+ * those edges).
+ */
+template <typename Key, typename Value, typename Hasher>
+class FixedHashTable
+{
+  public:
+    explicit FixedHashTable(std::size_t slots, Hasher hasher = Hasher())
+        : hasher_(hasher), mask_(slots - 1), entries_(slots)
+    {
+        LP_ASSERT(isPowerOfTwo(slots), "slot count must be a power of two");
+    }
+
+    /** Number of live entries. */
+    std::size_t size() const { return size_; }
+
+    /** Total slot capacity. */
+    std::size_t capacity() const { return entries_.size(); }
+
+    /**
+     * Find the value for @p key, inserting a default-constructed entry
+     * if absent. Returns nullptr when the key is absent and the table
+     * is full.
+     */
+    Value *
+    findOrInsert(const Key &key)
+    {
+        std::size_t idx = static_cast<std::size_t>(hasher_(key)) & mask_;
+        for (std::size_t probes = 0; probes <= mask_; ++probes) {
+            Entry &e = entries_[idx];
+            if (!e.occupied) {
+                e.occupied = true;
+                e.key = key;
+                ++size_;
+                return &e.value;
+            }
+            if (e.key == key)
+                return &e.value;
+            idx = (idx + 1) & mask_;
+        }
+        return nullptr; // table full
+    }
+
+    /** Find the value for @p key or nullptr when absent. */
+    Value *
+    find(const Key &key)
+    {
+        std::size_t idx = static_cast<std::size_t>(hasher_(key)) & mask_;
+        for (std::size_t probes = 0; probes <= mask_; ++probes) {
+            Entry &e = entries_[idx];
+            if (!e.occupied)
+                return nullptr;
+            if (e.key == key)
+                return &e.value;
+            idx = (idx + 1) & mask_;
+        }
+        return nullptr;
+    }
+
+    const Value *
+    find(const Key &key) const
+    {
+        return const_cast<FixedHashTable *>(this)->find(key);
+    }
+
+    /** Visit every occupied entry as fn(key, value&). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (Entry &e : entries_) {
+            if (e.occupied)
+                fn(e.key, e.value);
+        }
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const Entry &e : entries_) {
+            if (e.occupied)
+                fn(e.key, e.value);
+        }
+    }
+
+    /** Drop all entries (used when tests reset the runtime). */
+    void
+    clear()
+    {
+        for (Entry &e : entries_)
+            e = Entry{};
+        size_ = 0;
+    }
+
+  private:
+    struct Entry {
+        bool occupied = false;
+        Key key{};
+        Value value{};
+    };
+
+    Hasher hasher_;
+    std::size_t mask_;
+    std::size_t size_ = 0;
+    std::vector<Entry> entries_;
+};
+
+} // namespace lp
+
+#endif // LP_UTIL_FIXED_HASH_TABLE_H

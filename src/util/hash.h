@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Hash functions for the edge table and other closed-hash tables.
+ *
+ * The edge table keys on a pair of class ids; we mix the pair with a
+ * 64-bit finalizer so nearby ids do not cluster in a power-of-two table.
+ */
+
+#ifndef LP_UTIL_HASH_H
+#define LP_UTIL_HASH_H
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace lp {
+
+/** 64-bit FNV-1a over an arbitrary byte string. */
+inline std::uint64_t
+fnv1a(const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** FNV-1a over a string view (class names, symbol tables). */
+inline std::uint64_t
+hashString(std::string_view s)
+{
+    return fnv1a(s.data(), s.size());
+}
+
+/** Finalizing 64-bit mix (splitmix64 finalizer). */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+/** Hash a pair of 32-bit ids (the edge table's src/tgt class pair). */
+inline std::uint64_t
+hashPair(std::uint32_t a, std::uint32_t b)
+{
+    return mix64((std::uint64_t{a} << 32) | b);
+}
+
+} // namespace lp
+
+#endif // LP_UTIL_HASH_H

@@ -1,0 +1,60 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace lp {
+
+namespace {
+
+std::atomic<LogLevel> global_level{LogLevel::Warn};
+
+/** Serializes message emission so multithreaded output stays readable. */
+std::mutex &
+emitMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return global_level.load(std::memory_order_relaxed);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    global_level.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+emit(LogLevel, const char *tag, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(emitMutex());
+    std::fprintf(stderr, "[lp:%s] %s\n", tag, msg.c_str());
+}
+
+void
+die(const char *tag, const std::string &msg, bool abort_process)
+{
+    {
+        std::lock_guard<std::mutex> lock(emitMutex());
+        std::fprintf(stderr, "[lp:%s] %s\n", tag, msg.c_str());
+        std::fflush(stderr);
+    }
+    if (abort_process)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace lp

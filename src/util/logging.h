@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Status and error reporting for the leak-pruning runtime.
+ *
+ * Follows the gem5 convention: inform() for status, warn() for suspect
+ * conditions, fatal() for user/configuration errors (clean exit), and
+ * panic() for internal invariant violations (abort). Verbosity of
+ * inform() is controlled by a process-wide log level so benchmarks can
+ * run quietly.
+ */
+
+#ifndef LP_UTIL_LOGGING_H
+#define LP_UTIL_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace lp {
+
+/** Severity levels for runtime messages. */
+enum class LogLevel {
+    Silent = 0,  //!< nothing but fatal/panic
+    Warn = 1,    //!< warnings and above
+    Info = 2,    //!< normal status messages
+    Debug = 3,   //!< verbose internal tracing
+};
+
+namespace detail {
+
+/** Concatenate a parameter pack into one string via ostringstream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+void emit(LogLevel level, const char *tag, const std::string &msg);
+[[noreturn]] void die(const char *tag, const std::string &msg, bool abort_process);
+
+} // namespace detail
+
+/** Get the current process-wide log level. */
+LogLevel logLevel();
+
+/** Set the process-wide log level (e.g. LogLevel::Silent in benches). */
+void setLogLevel(LogLevel level);
+
+/** Status message for the user; no connotation of incorrect behavior. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Info)
+        detail::emit(LogLevel::Info, "info", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Verbose internal tracing, off by default. */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Debug)
+        detail::emit(LogLevel::Debug, "debug", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Something is suspect but execution can continue. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Warn)
+        detail::emit(LogLevel::Warn, "warn", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Unrecoverable condition that is the caller's fault; exits cleanly. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::die("fatal", detail::concat(std::forward<Args>(args)...), false);
+}
+
+/** Internal invariant violation; aborts so a core/backtrace is produced. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::die("panic", detail::concat(std::forward<Args>(args)...), true);
+}
+
+/** panic() unless the condition holds. Used for cheap runtime invariants. */
+#define LP_ASSERT(cond, ...)                                              \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            ::lp::panic("assertion failed: ", #cond, " ", ##__VA_ARGS__); \
+    } while (0)
+
+} // namespace lp
+
+#endif // LP_UTIL_LOGGING_H

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator for workloads and tests.
+ *
+ * The leak workloads and property tests must be reproducible run to run
+ * (the paper uses replay compilation for the same reason), so we use a
+ * seeded xoshiro-style generator rather than std::random_device.
+ */
+
+#ifndef LP_UTIL_RNG_H
+#define LP_UTIL_RNG_H
+
+#include <cstdint>
+
+#include "util/hash.h"
+
+namespace lp {
+
+/** Small, fast, seedable PRNG (splitmix64-seeded xorshift128+). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        s0_ = mix64(seed + 1);
+        s1_ = mix64(seed + 2);
+        if ((s0_ | s1_) == 0)
+            s1_ = 1;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = s0_;
+        const std::uint64_t y = s1_;
+        s0_ = y;
+        x ^= x << 23;
+        s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1_ + y;
+    }
+
+    /** Uniform value in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi]. */
+    std::uint64_t
+    nextRange(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + nextBelow(hi - lo + 1);
+    }
+
+    /** Bernoulli trial with probability @p num / @p den. */
+    bool
+    chance(std::uint64_t num, std::uint64_t den)
+    {
+        return nextBelow(den) < num;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    std::uint64_t s0_;
+    std::uint64_t s1_;
+};
+
+} // namespace lp
+
+#endif // LP_UTIL_RNG_H

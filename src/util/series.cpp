@@ -1,0 +1,119 @@
+#include "util/series.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+namespace lp {
+
+double
+Series::minY() const
+{
+    if (ys_.empty())
+        return 0.0;
+    return *std::min_element(ys_.begin(), ys_.end());
+}
+
+double
+Series::maxY() const
+{
+    if (ys_.empty())
+        return 0.0;
+    return *std::max_element(ys_.begin(), ys_.end());
+}
+
+double
+Series::tailMeanY(std::size_t n) const
+{
+    if (ys_.empty())
+        return 0.0;
+    const std::size_t take = std::min(n, ys_.size());
+    double sum = 0.0;
+    for (std::size_t i = ys_.size() - take; i < ys_.size(); ++i)
+        sum += ys_[i];
+    return sum / static_cast<double>(take);
+}
+
+Series &
+SeriesChart::addSeries(const std::string &name)
+{
+    series_.emplace_back(name);
+    return series_.back();
+}
+
+namespace {
+
+/** Pick up to max_rows indices, uniformly in x or in log(x). */
+std::vector<std::size_t>
+sampleIndices(const Series &s, std::size_t max_rows, bool log_x)
+{
+    std::vector<std::size_t> idx;
+    const std::size_t n = s.size();
+    if (n == 0)
+        return idx;
+    if (n <= max_rows) {
+        for (std::size_t i = 0; i < n; ++i)
+            idx.push_back(i);
+        return idx;
+    }
+    if (!log_x) {
+        for (std::size_t r = 0; r < max_rows; ++r)
+            idx.push_back(r * (n - 1) / (max_rows - 1));
+    } else {
+        // Sample log-uniformly over index (xs are monotone per figure).
+        const double lo = std::log(1.0);
+        const double hi = std::log(static_cast<double>(n));
+        for (std::size_t r = 0; r < max_rows; ++r) {
+            const double f = lo + (hi - lo) * static_cast<double>(r) /
+                static_cast<double>(max_rows - 1);
+            auto i = static_cast<std::size_t>(std::exp(f)) - 1;
+            idx.push_back(std::min(i, n - 1));
+        }
+    }
+    idx.erase(std::unique(idx.begin(), idx.end()), idx.end());
+    return idx;
+}
+
+/** Render one series as a fixed-width unicode-free sparkline. */
+std::string
+sparkline(const Series &s, std::size_t width)
+{
+    static const char levels[] = " .:-=+*#%@";
+    const std::size_t nlevels = sizeof(levels) - 2;
+    std::string out(width, ' ');
+    if (s.size() == 0)
+        return out;
+    const double lo = s.minY();
+    const double hi = s.maxY();
+    const double span = (hi > lo) ? hi - lo : 1.0;
+    for (std::size_t c = 0; c < width; ++c) {
+        const std::size_t i = c * (s.size() - 1) / (width > 1 ? width - 1 : 1);
+        const double f = (s.y(i) - lo) / span;
+        out[c] = levels[static_cast<std::size_t>(f * static_cast<double>(nlevels))];
+    }
+    return out;
+}
+
+} // namespace
+
+void
+SeriesChart::print(std::ostream &os, std::size_t max_rows, bool log_x) const
+{
+    os << "== " << title_ << " ==\n";
+    os << "   (" << x_label_ << " vs " << y_label_ << ")\n";
+    for (const Series &s : series_) {
+        os << "-- series: " << s.name() << " (" << s.size() << " points)\n";
+        const auto idx = sampleIndices(s, max_rows, log_x);
+        for (std::size_t i : idx) {
+            os << "   " << std::setw(12) << std::fixed << std::setprecision(1)
+               << s.x(i) << "  " << std::setw(12) << std::setprecision(4)
+               << s.y(i) << "\n";
+        }
+        os << "   [" << sparkline(s, 60) << "]  min=" << s.minY()
+           << " max=" << s.maxY() << " last=" << s.lastY() << "\n";
+    }
+    os.flush();
+}
+
+} // namespace lp

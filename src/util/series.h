@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Recorder for (x, y) series backing the paper's figures: reachable
+ * memory vs. iteration (Figs. 1, 9) and time per iteration
+ * (Figs. 8, 10, 11). Supports downsampled text output so a 50k-point
+ * series prints as a readable table, plus an ASCII sparkline for quick
+ * eyeballing in the terminal.
+ */
+
+#ifndef LP_UTIL_SERIES_H
+#define LP_UTIL_SERIES_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lp {
+
+/** One named (x, y) series, e.g. "leak pruning" in Figure 1. */
+class Series
+{
+  public:
+    explicit Series(std::string name) : name_(std::move(name)) {}
+
+    void
+    add(double x, double y)
+    {
+        xs_.push_back(x);
+        ys_.push_back(y);
+    }
+
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+    std::size_t size() const { return xs_.size(); }
+    double x(std::size_t i) const { return xs_[i]; }
+    double y(std::size_t i) const { return ys_[i]; }
+
+    double minY() const;
+    double maxY() const;
+    double lastY() const { return ys_.empty() ? 0.0 : ys_.back(); }
+
+    /** Mean of y over the final @p n points (steady-state throughput). */
+    double tailMeanY(std::size_t n) const;
+
+  private:
+    std::string name_;
+    std::vector<double> xs_;
+    std::vector<double> ys_;
+};
+
+/** A figure: several series over a shared x axis, printable as text. */
+class SeriesChart
+{
+  public:
+    SeriesChart(std::string title, std::string x_label, std::string y_label)
+        : title_(std::move(title)), x_label_(std::move(x_label)),
+          y_label_(std::move(y_label))
+    {}
+
+    /** Add an empty series and return a handle for appending points. */
+    Series &addSeries(const std::string &name);
+
+    /** Add a copy of an already-recorded series. */
+    void addSeries(Series s) { series_.push_back(std::move(s)); }
+
+    const std::vector<Series> &series() const { return series_; }
+
+    /**
+     * Print a downsampled table (at most @p max_rows rows per series)
+     * followed by a sparkline per series.
+     *
+     * @param os destination stream.
+     * @param max_rows row budget for the table.
+     * @param log_x sample rows log-uniformly in x (for the paper's
+     *              logarithmic-x figures).
+     */
+    void print(std::ostream &os, std::size_t max_rows = 24, bool log_x = false) const;
+
+  private:
+    std::string title_;
+    std::string x_label_;
+    std::string y_label_;
+    std::vector<Series> series_;
+};
+
+} // namespace lp
+
+#endif // LP_UTIL_SERIES_H

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Lightweight statistics: named counters, running means, and a simple
+ * log-scale histogram. The runtime exposes its collector and barrier
+ * statistics through these so tests and benches can assert on them.
+ */
+
+#ifndef LP_UTIL_STATS_H
+#define LP_UTIL_STATS_H
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lp {
+
+/** Monotonic event counter, safe to bump from multiple threads. */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+    std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Running mean / min / max over a stream of samples. */
+class RunningStat
+{
+  public:
+    void
+    add(double x)
+    {
+        ++n_;
+        sum_ += x;
+        min_ = (n_ == 1) ? x : std::min(min_, x);
+        max_ = (n_ == 1) ? x : std::max(max_, x);
+    }
+
+    std::uint64_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    void
+    reset()
+    {
+        n_ = 0;
+        sum_ = 0.0;
+        min_ = max_ = 0.0;
+    }
+
+  private:
+    std::uint64_t n_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Power-of-two bucketed histogram (e.g. object sizes, pause times). */
+class LogHistogram
+{
+  public:
+    static constexpr unsigned kBuckets = 48;
+
+    /** Record one sample. */
+    void
+    add(std::uint64_t v)
+    {
+        unsigned b = 0;
+        while (v > 1 && b + 1 < kBuckets) {
+            v >>= 1;
+            ++b;
+        }
+        ++buckets_[b];
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t bucket(unsigned i) const { return i < kBuckets ? buckets_[i] : 0; }
+
+    /** Smallest power-of-two bound covering @p fraction of samples. */
+    std::uint64_t
+    percentileBound(double fraction) const
+    {
+        std::uint64_t target = static_cast<std::uint64_t>(fraction * static_cast<double>(count_));
+        std::uint64_t seen = 0;
+        for (unsigned i = 0; i < kBuckets; ++i) {
+            seen += buckets_[i];
+            if (seen >= target)
+                return std::uint64_t{1} << i;
+        }
+        return std::uint64_t{1} << (kBuckets - 1);
+    }
+
+  private:
+    std::uint64_t buckets_[kBuckets] = {};
+    std::uint64_t count_ = 0;
+};
+
+} // namespace lp
+
+#endif // LP_UTIL_STATS_H

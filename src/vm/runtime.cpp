@@ -1,0 +1,252 @@
+#include "vm/runtime.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace lp {
+
+namespace {
+
+/**
+ * RAII allocation lock that is safepoint friendly: while waiting for
+ * the lock the thread counts as blocked, so a collecting thread (which
+ * holds this lock for the whole collection) is never stalled by
+ * threads queueing behind it.
+ */
+class AllocLock
+{
+  public:
+    AllocLock(std::mutex &m, ThreadRegistry &threads)
+        : lock_(m, std::defer_lock)
+    {
+        BlockedScope blocked(threads);
+        lock_.lock();
+        // BlockedScope's destructor re-parks if a pause is pending;
+        // since we now hold the allocation lock, no new pause can
+        // start until we release it.
+    }
+
+  private:
+    std::unique_lock<std::mutex> lock_;
+};
+
+} // namespace
+
+Runtime::Runtime(const RuntimeConfig &config)
+    : config_(config), heap_(config.heapBytes),
+      barriers_enabled_(config.barrierMode == BarrierMode::AllTheTime)
+{
+    if (config_.gcTriggerFraction > 0) {
+        gc_budget_bytes_ = static_cast<std::size_t>(
+            config_.gcTriggerFraction * static_cast<double>(heap_.capacity()));
+        gc_budget_bytes_ = std::max<std::size_t>(gc_budget_bytes_, 64 * 1024);
+    }
+    const ToleranceMode mode =
+        config_.enableLeakPruning ? config_.tolerance : ToleranceMode::None;
+    if (mode != ToleranceMode::None && !barriers_enabled_)
+        fatal("leak tolerance requires read barriers (BarrierMode::AllTheTime)");
+    if (mode == ToleranceMode::LeakPruning) {
+        pruning_ = std::make_unique<LeakPruning>(registry_, config_.pruning);
+        tolerance_plugin_ = pruning_.get();
+    } else if (mode == ToleranceMode::DiskOffload) {
+        offload_ = std::make_unique<DiskOffload>(*this, config_.offload);
+        tolerance_plugin_ = offload_.get();
+    }
+    collector_ = std::make_unique<Collector>(heap_, registry_, *this, threads_,
+                                             config_.gcThreads);
+    collector_->setPlugin(tolerance_plugin_);
+    threads_.registerMutator(); // the constructing thread is a mutator
+}
+
+Runtime::~Runtime()
+{
+    threads_.unregisterMutator();
+}
+
+void
+Runtime::forEachRoot(const std::function<void(ref_t *)> &fn)
+{
+    roots_.forEachRoot(fn);
+    // Each mutator's most recent allocation is a root until published.
+    threads_.forEachAllocationRoot(fn);
+}
+
+CollectionOutcome
+Runtime::collectNow()
+{
+    AllocLock lock(alloc_mutex_, threads_);
+    bytes_since_gc_ = 0;
+    return collector_->collect();
+}
+
+void
+Runtime::collectLocked()
+{
+    // The staleness clock approximates *program* time between uses of
+    // an object, measured in full-heap collections. In the paper's
+    // generational collector those are roughly one-per-heap-fill
+    // events; here every collection is full-heap and several can land
+    // within one allocation call (budget trigger plus out-of-memory
+    // retries), which would age every briefly-idle live structure
+    // straight past the candidate threshold. So the clock ticks only
+    // when the program has allocated a quantum since the last tick.
+    const bool tick = bytes_since_clock_tick_ >= kClockQuantumBytes;
+    if (tolerance_plugin_)
+        tolerance_plugin_->pauseStalenessClock(!tick);
+    collector_->collect();
+    if (tick)
+        bytes_since_clock_tick_ = 0;
+    bytes_since_gc_ = 0;
+    if (tolerance_plugin_)
+        tolerance_plugin_->pauseStalenessClock(false);
+
+    // Schedule the next collection at half the remaining headroom:
+    // "allocations trigger more and more collections as memory fills
+    // the heap" (paper Section 3.1). Collecting before hard exhaustion
+    // is what gives the observation machinery time to see stale-then-
+    // used references and protect them via maxStaleUse.
+    if (config_.gcTriggerFraction > 0) {
+        const std::size_t live = collector_->stats().lastLiveBytes;
+        const std::size_t headroom =
+            heap_.capacity() > live ? heap_.capacity() - live : 0;
+        gc_budget_bytes_ = std::clamp<std::size_t>(
+            headroom / 2, 64 * 1024,
+            static_cast<std::size_t>(config_.gcTriggerFraction *
+                                     static_cast<double>(heap_.capacity())));
+    }
+}
+
+void *
+Runtime::allocateWithGc(std::size_t bytes)
+{
+    // Periodic trigger: collect once the allocation budget since the
+    // last collection is spent, the way a VM collects "each time the
+    // program fills the heap" rather than only at hard exhaustion.
+    if (gc_budget_bytes_ && bytes_since_gc_ >= gc_budget_bytes_)
+        collectLocked();
+
+    void *mem = heap_.allocate(bytes);
+    if (mem) [[likely]] {
+        bytes_since_gc_ += bytes;
+        bytes_since_clock_tick_ += bytes;
+        return mem;
+    }
+
+    // Slow path: collect until the request fits. The pruning engine
+    // reports whether another collection can still help (a selection
+    // pending, a prune that just made progress); without pruning a
+    // single collection is all the help there is.
+    for (unsigned round = 0; round < config_.maxGcRoundsPerAllocation;
+         ++round) {
+        collectLocked();
+        mem = heap_.allocate(bytes);
+        if (mem) {
+            bytes_since_gc_ += bytes;
+            bytes_since_clock_tick_ += bytes;
+            return mem;
+        }
+        if (!tolerance_plugin_)
+            break;
+        // The VM is at the point where it would throw an out-of-memory
+        // error; record it (for pruning, the deferred error becomes
+        // the cause of any later poisoned-access InternalError) and
+        // let the scheme decide whether another collection can help.
+        tolerance_plugin_->noteMemoryExhausted(bytes, collector_->epoch());
+        if (!tolerance_plugin_->shouldKeepCollecting(round + 1))
+            break;
+    }
+    throw OutOfMemoryError(bytes, collector_->epoch());
+}
+
+Object *
+Runtime::allocateRaw(class_id_t cls, std::size_t bytes)
+{
+    threads_.pollSafepoint();
+    AllocLock lock(alloc_mutex_, threads_);
+    void *mem = allocateWithGc(bytes);
+    Object *obj = Object::format(mem, cls, bytes);
+    // Root the fresh object until the caller publishes it: another
+    // thread may trigger a collection before that happens, and an
+    // unrooted new object would be swept (a real VM's stack scan
+    // covers this window; a library runtime must do it explicitly).
+    threads_.noteAllocation(makeRef(obj));
+    return obj;
+}
+
+Object *
+Runtime::allocate(class_id_t cls)
+{
+    const ClassInfo &info = registry_.info(cls);
+    LP_ASSERT(info.kind == ObjectKind::Scalar, "allocate() needs a scalar class");
+    return allocateRaw(cls, Object::scalarSize(info));
+}
+
+Object *
+Runtime::allocateRefArray(class_id_t cls, std::size_t length)
+{
+    const ClassInfo &info = registry_.info(cls);
+    LP_ASSERT(info.kind == ObjectKind::RefArray, "not a ref-array class");
+    Object *obj = allocateRaw(cls, Object::refArraySize(length));
+    obj->setArrayLength(length);
+    return obj;
+}
+
+Object *
+Runtime::allocateByteArray(class_id_t cls, std::size_t length)
+{
+    const ClassInfo &info = registry_.info(cls);
+    LP_ASSERT(info.kind == ObjectKind::ByteArray, "not a byte-array class");
+    Object *obj = allocateRaw(cls, Object::byteArraySize(length));
+    obj->setArrayLength(length);
+    return obj;
+}
+
+Object *
+Runtime::readBarrierColdPath(Object *src, const ClassInfo &src_cls,
+                             ref_t *addr, ref_t observed)
+{
+    (void)src;
+    BarrierStats::bump(barrier_stats_.coldPathHits);
+
+    // Check for an invalidated reference first. Under leak pruning the
+    // target is gone and the access throws (paper Section 4.4); under
+    // the disk-offload baseline the tag is a stub handle and the
+    // object is faulted back in from disk.
+    if (refIsPoisoned(observed)) {
+        if (offload_)
+            return offload_->faultIn(addr, observed);
+        BarrierStats::bump(barrier_stats_.poisonThrows);
+        std::shared_ptr<const OutOfMemoryError> cause =
+            pruning_ ? pruning_->avertedOutOfMemory() : nullptr;
+        // Do NOT touch the target: its memory was reclaimed and may
+        // have been recycled. Name the edge by its source class only.
+        throw InternalError(
+            "InternalError: access to pruned reference out of " +
+                src_cls.name,
+            std::move(cause));
+    }
+
+    // Stale-check bit set: first use of this reference since the last
+    // collection. Record how stale the target had become, clear the
+    // bit, and zero the target's stale counter — all atomically enough
+    // that a racing writer's store is never clobbered (the CAS
+    // publishes the cleaned reference only if the slot is unchanged,
+    // the paper's "[iff a.f == t]").
+    Object *tgt = refTarget(observed);
+    const unsigned stale = tgt->staleCounter();
+    if (pruning_ && stale >= 2)
+        pruning_->onReferenceUsed(src_cls.id, tgt->classId(), stale);
+
+    ref_t expected = observed;
+    std::atomic_ref<ref_t>(*addr).compare_exchange_strong(
+        expected, refClean(observed), std::memory_order_relaxed);
+    // If the CAS failed another thread wrote a valid reference; using
+    // our already-loaded value remains a correct serialization.
+
+    tgt->clearStaleCounter();
+    BarrierStats::bump(barrier_stats_.staleResets);
+    return tgt;
+}
+
+} // namespace lp

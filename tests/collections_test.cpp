@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Tests for the managed collections (list, vector, hash map, string):
+ * functional behavior, survival across collections, and the liveness
+ * side effects the leak models rely on (rehash-touches-everything,
+ * spine-walk-keeps-nodes-live).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "collections/managed_hash_map.h"
+#include "collections/managed_list.h"
+#include "collections/managed_string.h"
+#include "collections/managed_vector.h"
+#include "vm/handles.h"
+#include "vm/runtime.h"
+
+namespace lp {
+namespace {
+
+RuntimeConfig
+cfg(std::size_t heap = 16u << 20)
+{
+    RuntimeConfig c;
+    c.heapBytes = heap;
+    c.enableLeakPruning = true;
+    return c;
+}
+
+// --- ManagedList -------------------------------------------------------------
+
+TEST(ManagedListTest, PushPopFifoOrderFromFront)
+{
+    Runtime rt(cfg());
+    ManagedList list_type(rt, "t");
+    const class_id_t val = rt.defineClass("Val", 0, 8);
+    HandleScope scope(rt.roots());
+    Handle list = scope.handle(list_type.create());
+
+    Handle a = scope.handle(rt.allocate(val));
+    Handle b = scope.handle(rt.allocate(val));
+    list_type.pushFront(list.get(), a.get());
+    list_type.pushFront(list.get(), b.get());
+    EXPECT_EQ(list_type.size(list.get()), 2u);
+    EXPECT_EQ(list_type.popFront(list.get()), b.get());
+    EXPECT_EQ(list_type.popFront(list.get()), a.get());
+    EXPECT_EQ(list_type.popFront(list.get()), nullptr);
+    EXPECT_EQ(list_type.size(list.get()), 0u);
+}
+
+TEST(ManagedListTest, SurvivesCollection)
+{
+    Runtime rt(cfg());
+    ManagedList list_type(rt, "t");
+    const class_id_t val = rt.defineClass("Val", 0, 8);
+    HandleScope scope(rt.roots());
+    Handle list = scope.handle(list_type.create());
+    for (int i = 0; i < 500; ++i) {
+        HandleScope inner(rt.roots());
+        Handle v = inner.handle(rt.allocate(val));
+        list_type.pushFront(list.get(), v.get());
+    }
+    rt.collectNow();
+    int count = 0;
+    list_type.forEach(list.get(), [&](Object *v) {
+        EXPECT_NE(v, nullptr);
+        ++count;
+    });
+    EXPECT_EQ(count, 500);
+}
+
+TEST(ManagedListTest, GetByIndex)
+{
+    Runtime rt(cfg());
+    ManagedList list_type(rt, "t");
+    const class_id_t val = rt.defineClass("Val", 0, 8);
+    HandleScope scope(rt.roots());
+    Handle list = scope.handle(list_type.create());
+    Handle a = scope.handle(rt.allocate(val));
+    Handle b = scope.handle(rt.allocate(val));
+    list_type.pushFront(list.get(), a.get());
+    list_type.pushFront(list.get(), b.get());
+    EXPECT_EQ(list_type.get(list.get(), 0), b.get());
+    EXPECT_EQ(list_type.get(list.get(), 1), a.get());
+    EXPECT_EQ(list_type.get(list.get(), 5), nullptr);
+}
+
+// --- ManagedVector -----------------------------------------------------------
+
+TEST(ManagedVectorTest, PushGrowsAndPreservesOrder)
+{
+    Runtime rt(cfg());
+    ManagedVector vec_type(rt, "t");
+    const class_id_t val = rt.defineClass("Val", 0, 8);
+    HandleScope scope(rt.roots());
+    Handle vec = scope.handle(vec_type.create(4));
+    std::vector<Object *> pushed;
+    for (int i = 0; i < 100; ++i) {
+        HandleScope inner(rt.roots());
+        Handle v = inner.handle(rt.allocate(val));
+        vec_type.push(vec.get(), v.get());
+        pushed.push_back(v.get());
+    }
+    EXPECT_EQ(vec_type.size(vec.get()), 100u);
+    EXPECT_GE(vec_type.capacity(vec.get()), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(vec_type.get(vec.get(), i), pushed[i]);
+}
+
+TEST(ManagedVectorTest, TruncateDropsReferences)
+{
+    Runtime rt(cfg());
+    ManagedVector vec_type(rt, "t");
+    const class_id_t val = rt.defineClass("Val", 0, 64);
+    HandleScope scope(rt.roots());
+    Handle vec = scope.handle(vec_type.create());
+    for (int i = 0; i < 50; ++i) {
+        HandleScope inner(rt.roots());
+        vec_type.push(vec.get(), inner.handle(rt.allocate(val)).get());
+    }
+    vec_type.truncate(vec.get(), 30);
+    EXPECT_EQ(vec_type.size(vec.get()), 20u);
+    // Truncated elements must become garbage.
+    const auto before = rt.collectNow().objectsMarked;
+    EXPECT_LT(before, 60u); // 20 vals + vector + storage + handles' worth
+}
+
+TEST(ManagedVectorTest, SurvivesCollectionAcrossGrowth)
+{
+    Runtime rt(cfg());
+    ManagedVector vec_type(rt, "t");
+    const class_id_t val = rt.defineClass("Val", 0, 8);
+    HandleScope scope(rt.roots());
+    Handle vec = scope.handle(vec_type.create(2));
+    for (int i = 0; i < 200; ++i) {
+        HandleScope inner(rt.roots());
+        vec_type.push(vec.get(), inner.handle(rt.allocate(val)).get());
+        if (i % 50 == 0)
+            rt.collectNow();
+    }
+    int n = 0;
+    vec_type.forEach(vec.get(), [&](Object *v) {
+        EXPECT_NE(v, nullptr);
+        ++n;
+    });
+    EXPECT_EQ(n, 200);
+}
+
+// --- ManagedHashMap ----------------------------------------------------------
+
+TEST(ManagedHashMapTest, PutGetRemove)
+{
+    Runtime rt(cfg());
+    ManagedHashMap map_type(rt, "t");
+    const class_id_t val = rt.defineClass("Val", 0, 8);
+    HandleScope scope(rt.roots());
+    Handle map = scope.handle(map_type.create());
+    Handle a = scope.handle(rt.allocate(val));
+    Handle b = scope.handle(rt.allocate(val));
+
+    map_type.put(map.get(), 1, a.get());
+    map_type.put(map.get(), 2, b.get());
+    EXPECT_EQ(map_type.size(map.get()), 2u);
+    EXPECT_EQ(map_type.get(map.get(), 1), a.get());
+    EXPECT_EQ(map_type.get(map.get(), 2), b.get());
+    EXPECT_EQ(map_type.get(map.get(), 3), nullptr);
+
+    // Overwrite.
+    map_type.put(map.get(), 1, b.get());
+    EXPECT_EQ(map_type.get(map.get(), 1), b.get());
+    EXPECT_EQ(map_type.size(map.get()), 2u);
+
+    EXPECT_EQ(map_type.remove(map.get(), 1), b.get());
+    EXPECT_EQ(map_type.get(map.get(), 1), nullptr);
+    EXPECT_EQ(map_type.size(map.get()), 1u);
+    EXPECT_EQ(map_type.remove(map.get(), 1), nullptr);
+}
+
+TEST(ManagedHashMapTest, ManyKeysAcrossRehashes)
+{
+    Runtime rt(cfg());
+    ManagedHashMap map_type(rt, "t");
+    const class_id_t val = rt.defineClass("Val", 0, 16);
+    HandleScope scope(rt.roots());
+    Handle map = scope.handle(map_type.create(16));
+    std::vector<Object *> vals;
+    for (std::uint64_t k = 0; k < 1000; ++k) {
+        HandleScope inner(rt.roots());
+        Handle v = inner.handle(rt.allocate(val));
+        map_type.put(map.get(), k * 7 + 1, v.get());
+        vals.push_back(v.get());
+    }
+    EXPECT_GT(map_type.rehashCount(), 4u) << "growth must have rehashed";
+    EXPECT_EQ(map_type.size(map.get()), 1000u);
+    rt.collectNow();
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        ASSERT_EQ(map_type.get(map.get(), k * 7 + 1), vals[k]) << k;
+}
+
+TEST(ManagedHashMapTest, SlidingWindowChurnTerminates)
+{
+    // Remove-heavy workloads accumulate tombstones; occupancy-based
+    // rehash must keep probe chains bounded (a live-count-only load
+    // factor once made this loop forever).
+    Runtime rt(cfg());
+    ManagedHashMap map_type(rt, "t");
+    const class_id_t val = rt.defineClass("Val", 0, 8);
+    HandleScope scope(rt.roots());
+    Handle map = scope.handle(map_type.create(16));
+    constexpr std::uint64_t kWindow = 256;
+    for (std::uint64_t k = 0; k < 20000; ++k) {
+        HandleScope inner(rt.roots());
+        map_type.put(map.get(), k, inner.handle(rt.allocate(val)).get());
+        if (k >= kWindow) {
+            ASSERT_NE(map_type.remove(map.get(), k - kWindow), nullptr) << k;
+        }
+    }
+    EXPECT_EQ(map_type.size(map.get()), kWindow);
+    // The table must have stayed proportional to the window, not the
+    // total insert count.
+    EXPECT_LE(map_type.capacity(map.get()), 8 * kWindow);
+    for (std::uint64_t k = 20000 - kWindow; k < 20000; ++k)
+        ASSERT_NE(map_type.get(map.get(), k), nullptr);
+}
+
+TEST(ManagedHashMapTest, ForEachVisitsLiveEntriesOnly)
+{
+    Runtime rt(cfg());
+    ManagedHashMap map_type(rt, "t");
+    const class_id_t val = rt.defineClass("Val", 0, 8);
+    HandleScope scope(rt.roots());
+    Handle map = scope.handle(map_type.create());
+    for (std::uint64_t k = 0; k < 20; ++k) {
+        HandleScope inner(rt.roots());
+        map_type.put(map.get(), k, inner.handle(rt.allocate(val)).get());
+    }
+    for (std::uint64_t k = 0; k < 20; k += 2)
+        map_type.remove(map.get(), k);
+    std::set<std::uint64_t> seen;
+    map_type.forEach(map.get(), [&](std::uint64_t k, Object *v) {
+        EXPECT_NE(v, nullptr);
+        seen.insert(k);
+    });
+    EXPECT_EQ(seen.size(), 10u);
+    for (std::uint64_t k : seen)
+        EXPECT_EQ(k % 2, 1u);
+}
+
+TEST(ManagedHashMapTest, PeriodicallyTouchedEntriesSurvivePruning)
+{
+    // The MySQL liveness effect (paper Section 6): the JDBC layer
+    // periodically accesses its statement table (growth rehashes,
+    // maintenance scans), so the table and statements are live and the
+    // engine must learn — via maxStaleUse — not to prune them, while
+    // each statement's dead result structure is fair game.
+    RuntimeConfig c = cfg(2u << 20);
+    Runtime rt(c);
+    ManagedHashMap map_type(rt, "t");
+    const class_id_t stmt = rt.defineClass("Stmt", 1, 16);
+    const class_id_t result = rt.defineClass("Result", 0, 2048);
+    HandleScope scope(rt.roots());
+    Handle map = scope.handle(map_type.create());
+    std::uint64_t k = 0;
+    bool oom = false;
+    try {
+        for (; k < 100000; ++k) {
+            HandleScope inner(rt.roots());
+            Handle r = inner.handle(rt.allocate(result));
+            Handle s = inner.handle(rt.allocate(stmt));
+            rt.writeRef(s.get(), 0, r.get());
+            map_type.put(map.get(), k, s.get());
+            if (k % 64 == 63) // periodic maintenance scan
+                map_type.forEach(map.get(), [](std::uint64_t, Object *) {});
+        }
+    } catch (const OutOfMemoryError &) {
+        oom = true;
+    }
+    // Statements are live; the map's lookups must still work for every
+    // key inserted. Only the results were dead.
+    for (std::uint64_t probe = 0; probe < k; probe += 97)
+        ASSERT_NE(map_type.get(map.get(), probe), nullptr) << probe;
+    EXPECT_TRUE(oom);
+    // Pruning must have reclaimed statement->result structures,
+    // extending the run well past the no-pruning baseline (~950).
+    EXPECT_GT(rt.pruning()->stats().refsPoisoned, 0u);
+    EXPECT_GT(k, 3000u);
+}
+
+// --- StringFactory -----------------------------------------------------------
+
+TEST(StringFactoryTest, RoundTripsText)
+{
+    Runtime rt(cfg());
+    StringFactory strings(rt, "t");
+    HandleScope scope(rt.roots());
+    Handle s = scope.handle(strings.create("hello, world"));
+    EXPECT_EQ(strings.text(s.get()), "hello, world");
+    EXPECT_EQ(strings.length(rt, s.get()), 12u);
+}
+
+TEST(StringFactoryTest, FilledStringsHaveRequestedSize)
+{
+    Runtime rt(cfg());
+    StringFactory strings(rt, "t");
+    HandleScope scope(rt.roots());
+    Handle s = scope.handle(strings.createFilled(100000, 'q'));
+    EXPECT_EQ(strings.length(rt, s.get()), 100000u);
+    const std::string text = strings.text(s.get());
+    EXPECT_EQ(text.size(), 100000u);
+    EXPECT_EQ(text[99999], 'q');
+}
+
+TEST(StringFactoryTest, SurvivesCollection)
+{
+    Runtime rt(cfg());
+    StringFactory strings(rt, "t");
+    HandleScope scope(rt.roots());
+    Handle s = scope.handle(strings.create("persistent"));
+    rt.collectNow();
+    rt.collectNow();
+    EXPECT_EQ(strings.text(s.get()), "persistent");
+}
+
+} // namespace
+} // namespace lp

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the disk-offload baseline (LeakSurvivor/Melt model):
+ * offloading frees heap, faulted-in objects come back bit-for-bit,
+ * mispredictions are survivable (the key semantic difference from
+ * pruning), shared subgraphs resolve through the forwarding map, and
+ * a full disk ends tolerance the way the paper describes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/errors.h"
+#include "vm/handles.h"
+#include "vm/runtime.h"
+
+namespace lp {
+namespace {
+
+RuntimeConfig
+offloadConfig(std::size_t heap = 4u << 20,
+              std::size_t disk = 64u << 20)
+{
+    RuntimeConfig cfg;
+    cfg.heapBytes = heap;
+    cfg.enableLeakPruning = true;
+    cfg.tolerance = ToleranceMode::DiskOffload;
+    cfg.offload.diskBudgetBytes = disk;
+    return cfg;
+}
+
+/** Grow a spine of nodes with dead payloads until death or cap. */
+std::uint64_t
+growLeak(Runtime &rt, class_id_t node, class_id_t payload, Handle &head,
+         std::uint64_t cap, bool stamp = false)
+{
+    std::uint64_t i = 0;
+    try {
+        for (; i < cap; ++i) {
+            HandleScope inner(rt.roots());
+            Handle p = inner.handle(rt.allocate(payload));
+            if (stamp) {
+                const ClassInfo &cls = rt.classes().info(payload);
+                std::uint64_t value = 0xfeed0000 + i;
+                std::memcpy(p.get()->dataPtr(cls), &value, 8);
+            }
+            Handle n = inner.handle(rt.allocate(node));
+            rt.writeRef(n.get(), 0, head.get());
+            rt.writeRef(n.get(), 1, p.get());
+            head.set(n.get());
+        }
+    } catch (const OutOfMemoryError &) {
+    }
+    return i;
+}
+
+TEST(DiskOffloadTest, ExtendsAPureLeakLikePruningWould)
+{
+    Runtime rt(offloadConfig());
+    const class_id_t node = rt.defineClass("do.Node", 2, 0);
+    const class_id_t payload = rt.defineClass("do.Payload", 0, 2048);
+    HandleScope scope(rt.roots());
+    Handle head = scope.handle(nullptr);
+    const std::uint64_t iters = growLeak(rt, node, payload, head, 12000);
+    // A 4MB heap holds ~1900 payloads; offloading must go far past.
+    EXPECT_GT(iters, 6000u);
+    EXPECT_GT(rt.diskOffload()->stats().objectsOffloaded, 0u);
+    EXPECT_GT(rt.diskOffload()->stats().diskLiveBytes, 0u);
+}
+
+TEST(DiskOffloadTest, MispredictionsAreSurvivable)
+{
+    // THE semantic difference from pruning (paper Section 7): access
+    // to moved data faults it back instead of throwing.
+    Runtime rt(offloadConfig());
+    const class_id_t node = rt.defineClass("do.Node", 2, 0);
+    const class_id_t payload = rt.defineClass("do.Payload", 0, 2048);
+    HandleScope scope(rt.roots());
+    Handle head = scope.handle(nullptr);
+    growLeak(rt, node, payload, head, 8000, /*stamp=*/true);
+
+    // Walk the whole spine and read EVERY payload — in a pruning run
+    // this would throw InternalError at the first pruned reference.
+    std::uint64_t seen = 0;
+    std::uint64_t spot_checks = 0;
+    for (Object *w = head.get(); w; w = rt.readRef(w, 0)) {
+        Object *p = rt.readRef(w, 1); // faults in if offloaded
+        ASSERT_NE(p, nullptr);
+        if (seen % 97 == 0) {
+            const ClassInfo &cls = rt.classes().info(p->classId());
+            std::uint64_t value;
+            std::memcpy(&value, p->dataPtr(cls), 8);
+            EXPECT_EQ(value & 0xffff0000u, 0xfeed0000u) << seen;
+            ++spot_checks;
+        }
+        ++seen;
+    }
+    EXPECT_GT(seen, 4000u);
+    EXPECT_GT(spot_checks, 40u);
+    EXPECT_GT(rt.diskOffload()->stats().objectsRetrieved, 0u);
+}
+
+TEST(DiskOffloadTest, FaultedObjectsKeepExactPayload)
+{
+    Runtime rt(offloadConfig(2u << 20));
+    const class_id_t node = rt.defineClass("do.Node", 2, 0);
+    const class_id_t blob = rt.defineByteArrayClass("do.blob");
+
+    HandleScope scope(rt.roots());
+    Handle head = scope.handle(nullptr);
+    // Byte-array payloads with位置-dependent contents.
+    std::uint64_t count = 0;
+    try {
+        for (; count < 4000; ++count) {
+            HandleScope inner(rt.roots());
+            Handle b = inner.handle(rt.allocateByteArray(blob, 1500));
+            for (int j = 0; j < 1500; j += 125)
+                b.get()->bytePtr()[j] =
+                    static_cast<unsigned char>((count + j) & 0xff);
+            Handle n = inner.handle(rt.allocate(node));
+            rt.writeRef(n.get(), 0, head.get());
+            rt.writeRef(n.get(), 1, b.get());
+            head.set(n.get());
+        }
+    } catch (const OutOfMemoryError &) {
+    }
+    ASSERT_GT(rt.diskOffload()->stats().objectsOffloaded, 0u);
+
+    // Verify payload integrity from the tail (the oldest = offloaded).
+    std::uint64_t idx = count - 1; // head is the newest
+    for (Object *w = head.get(); w; w = rt.readRef(w, 0), --idx) {
+        Object *b = rt.readRef(w, 1);
+        ASSERT_EQ(b->arrayLength(), 1500u);
+        for (int j = 0; j < 1500; j += 125) {
+            ASSERT_EQ(b->bytePtr()[j],
+                      static_cast<unsigned char>((idx + j) & 0xff))
+                << "payload " << idx << " byte " << j;
+        }
+        if (idx == 0)
+            break;
+    }
+}
+
+TEST(DiskOffloadTest, SharedSubgraphResolvesThroughForwarding)
+{
+    Runtime rt(offloadConfig());
+    const class_id_t holder = rt.defineClass("do.Holder", 1, 0);
+    const class_id_t shared = rt.defineClass("do.Shared", 0, 64);
+
+    HandleScope scope(rt.roots());
+    // Two holders point at one shared object; everything goes stale.
+    Handle a = scope.handle(rt.allocate(holder));
+    Handle b = scope.handle(rt.allocate(holder));
+    Handle s = scope.handle(rt.allocate(shared));
+    rt.writeRef(a.get(), 0, s.get());
+    rt.writeRef(b.get(), 0, s.get());
+    Object *orig = s.get();
+    s.set(nullptr);
+
+    // Hold a and b via an on-heap container that is itself stale, so
+    // the subgraph {container, a, b, shared} can be offloaded... too
+    // complex: instead, age the objects and force offloading directly.
+    for (Object *obj : {a.get(), b.get(), orig})
+        obj->setStaleCounter(4);
+    // Fill the heap so offloading engages.
+    const class_id_t junk = rt.defineClass("do.Junk", 0, 2048);
+    Handle spine_head = scope.handle(nullptr);
+    const class_id_t node = rt.defineClass("do.Node", 2, 0);
+    growLeak(rt, node, junk, spine_head, 6000);
+
+    // If the shared object was offloaded (it may or may not be,
+    // depending on timing), reading through both holders must yield
+    // the SAME heap object.
+    Object *via_a = rt.readRef(a.get(), 0);
+    Object *via_b = rt.readRef(b.get(), 0);
+    EXPECT_EQ(via_a, via_b);
+    EXPECT_NE(via_a, nullptr);
+}
+
+TEST(DiskOffloadTest, DiskExhaustionEndsTolerance)
+{
+    // "All will eventually exhaust disk space and crash" (Section 7).
+    Runtime rt(offloadConfig(2u << 20, /*disk=*/1u << 20));
+    const class_id_t node = rt.defineClass("do.Node", 2, 0);
+    const class_id_t payload = rt.defineClass("do.Payload", 0, 2048);
+    HandleScope scope(rt.roots());
+    Handle head = scope.handle(nullptr);
+    const std::uint64_t iters = growLeak(rt, node, payload, head, 100000);
+    EXPECT_TRUE(rt.diskOffload()->stats().diskExhausted);
+    // Tolerance window ~ (heap + disk) / leak rate: well under the cap.
+    EXPECT_LT(iters, 4000u);
+    EXPECT_GT(iters, 800u);
+}
+
+TEST(DiskOffloadTest, LiveDataNeverMovedWrongly)
+{
+    // Hot data (touched every iteration) must stay in the heap: zero
+    // retrievals means zero mispredictions on the hot path.
+    Runtime rt(offloadConfig());
+    const class_id_t node = rt.defineClass("do.Node", 2, 0);
+    const class_id_t payload = rt.defineClass("do.Payload", 0, 1024);
+    const class_id_t hot_cls = rt.defineClass("do.Hot", 1, 64);
+
+    HandleScope scope(rt.roots());
+    Handle hot = scope.handle(rt.allocate(hot_cls));
+    Handle hot2 = scope.handle(rt.allocate(hot_cls));
+    rt.writeRef(hot.get(), 0, hot2.get());
+
+    Handle head = scope.handle(nullptr);
+    std::uint64_t i = 0;
+    try {
+        for (; i < 8000; ++i) {
+            HandleScope inner(rt.roots());
+            Handle p = inner.handle(rt.allocate(payload));
+            Handle n = inner.handle(rt.allocate(node));
+            rt.writeRef(n.get(), 0, head.get());
+            rt.writeRef(n.get(), 1, p.get());
+            head.set(n.get());
+            (void)rt.readRef(hot.get(), 0); // keep it hot
+        }
+    } catch (const OutOfMemoryError &) {
+    }
+    EXPECT_GT(i, 4000u);
+    EXPECT_EQ(rt.readRef(hot.get(), 0), hot2.get());
+}
+
+} // namespace
+} // namespace lp

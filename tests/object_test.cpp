@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for the object model: header bit packing, stale counter,
+ * mark/claim protocol, tagged reference words, class registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "object/class_info.h"
+#include "object/object.h"
+#include "object/ref.h"
+
+namespace lp {
+namespace {
+
+TEST(RefTest, TagBitRoundTrip)
+{
+    alignas(8) unsigned char backing[64] = {};
+    auto *obj = reinterpret_cast<Object *>(backing);
+    const ref_t clean = makeRef(obj);
+
+    EXPECT_FALSE(refHasStaleCheck(clean));
+    EXPECT_FALSE(refIsPoisoned(clean));
+    EXPECT_EQ(refTarget(clean), obj);
+
+    const ref_t tagged = refWithStaleCheck(clean);
+    EXPECT_TRUE(refHasStaleCheck(tagged));
+    EXPECT_FALSE(refIsPoisoned(tagged));
+    EXPECT_EQ(refTarget(tagged), obj);
+
+    const ref_t poisoned = refPoisoned(clean);
+    EXPECT_TRUE(refIsPoisoned(poisoned));
+    EXPECT_TRUE(refHasStaleCheck(poisoned)) << "poison implies both bits";
+    EXPECT_EQ(refTarget(poisoned), obj);
+
+    EXPECT_EQ(refClean(poisoned), clean);
+}
+
+TEST(RefTest, NullStaysNull)
+{
+    EXPECT_TRUE(refIsNull(0));
+    EXPECT_EQ(refTarget(0), nullptr);
+    EXPECT_EQ(refWithStaleCheck(0), ref_t{0}) << "null is never tagged";
+}
+
+TEST(ObjectTest, HeaderFieldsIndependent)
+{
+    alignas(8) unsigned char backing[128] = {};
+    Object *obj = Object::format(backing, 777, 128);
+
+    EXPECT_EQ(obj->classId(), 777u);
+    EXPECT_EQ(obj->sizeBytes(), 128u);
+    EXPECT_EQ(obj->staleCounter(), 0u);
+    EXPECT_FALSE(obj->marked());
+    EXPECT_FALSE(obj->pinned());
+
+    obj->setStaleCounter(5);
+    EXPECT_EQ(obj->staleCounter(), 5u);
+    EXPECT_EQ(obj->classId(), 777u) << "stale counter must not clobber class";
+
+    EXPECT_TRUE(obj->tryMark());
+    EXPECT_FALSE(obj->tryMark()) << "second claim must fail";
+    EXPECT_TRUE(obj->marked());
+    EXPECT_EQ(obj->staleCounter(), 5u);
+
+    obj->setPinned(true);
+    EXPECT_TRUE(obj->pinned());
+    obj->clearMark();
+    EXPECT_FALSE(obj->marked());
+    EXPECT_TRUE(obj->pinned());
+    EXPECT_EQ(obj->staleCounter(), 5u);
+
+    obj->clearStaleCounter();
+    EXPECT_EQ(obj->staleCounter(), 0u);
+}
+
+TEST(ObjectTest, StaleCounterSaturatesAtSeven)
+{
+    alignas(8) unsigned char backing[64] = {};
+    Object *obj = Object::format(backing, 1, 64);
+    obj->setStaleCounter(kMaxStaleCounter);
+    EXPECT_EQ(obj->staleCounter(), 7u);
+}
+
+TEST(ObjectTest, MarkClaimIsExclusiveAcrossThreads)
+{
+    alignas(8) unsigned char backing[64] = {};
+    Object *obj = Object::format(backing, 1, 64);
+    std::atomic<int> claims{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&] {
+            if (obj->tryMark())
+                claims.fetch_add(1);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(claims.load(), 1);
+}
+
+TEST(ObjectTest, ScalarLayoutAndSlots)
+{
+    ClassRegistry reg;
+    const class_id_t cls = reg.registerScalar("Pair", 2, 16);
+    const ClassInfo &info = reg.info(cls);
+
+    const std::size_t size = Object::scalarSize(info);
+    EXPECT_EQ(size, Object::kHeaderBytes + 2 * kWordBytes + 16);
+
+    std::vector<unsigned char> backing(size + 8);
+    void *aligned = backing.data() +
+        (8 - reinterpret_cast<word_t>(backing.data()) % 8) % 8;
+    Object *obj = Object::format(aligned, cls, size);
+
+    EXPECT_EQ(obj->refSlotCount(info), 2u);
+    *obj->refSlotAddr(info, 0) = 0xdead0;
+    *obj->refSlotAddr(info, 1) = 0xbeef0;
+    EXPECT_EQ(*obj->refSlotAddr(info, 0), ref_t{0xdead0});
+    EXPECT_NE(obj->refSlotAddr(info, 0), obj->refSlotAddr(info, 1));
+
+    int count = 0;
+    obj->forEachRefSlot(info, [&](ref_t *) { ++count; });
+    EXPECT_EQ(count, 2);
+}
+
+TEST(ObjectTest, RefArrayLayout)
+{
+    ClassRegistry reg;
+    const class_id_t cls = reg.registerRefArray("Object[]");
+    const ClassInfo &info = reg.info(cls);
+
+    const std::size_t size = Object::refArraySize(5);
+    std::vector<unsigned char> backing(size + 8);
+    void *aligned = backing.data() +
+        (8 - reinterpret_cast<word_t>(backing.data()) % 8) % 8;
+    Object *obj = Object::format(aligned, cls, size);
+    obj->setArrayLength(5);
+
+    EXPECT_EQ(obj->arrayLength(), 5u);
+    EXPECT_EQ(obj->refSlotCount(info), 5u);
+    int count = 0;
+    obj->forEachRefSlot(info, [&](ref_t *slot) {
+        EXPECT_EQ(*slot, ref_t{0}) << "format() must zero the payload";
+        ++count;
+    });
+    EXPECT_EQ(count, 5);
+}
+
+TEST(ObjectTest, ByteArrayHasNoRefSlots)
+{
+    ClassRegistry reg;
+    const class_id_t cls = reg.registerByteArray("char[]");
+    const ClassInfo &info = reg.info(cls);
+
+    const std::size_t size = Object::byteArraySize(100);
+    std::vector<unsigned char> backing(size + 8);
+    void *aligned = backing.data() +
+        (8 - reinterpret_cast<word_t>(backing.data()) % 8) % 8;
+    Object *obj = Object::format(aligned, cls, size);
+    obj->setArrayLength(100);
+
+    EXPECT_EQ(obj->refSlotCount(info), 0u);
+    obj->bytePtr()[99] = 42;
+    EXPECT_EQ(obj->bytePtr()[99], 42);
+}
+
+TEST(ClassRegistryTest, RegistersAndLooksUp)
+{
+    ClassRegistry reg;
+    const class_id_t a = reg.registerScalar("A", 1, 0);
+    const class_id_t b = reg.registerScalar("B", 0, 8);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(reg.info(a).name, "A");
+    EXPECT_EQ(reg.info(b).dataBytes, 8u);
+    EXPECT_EQ(reg.findByName("A"), a);
+    EXPECT_EQ(reg.findByName("missing"), kInvalidClassId);
+    EXPECT_EQ(reg.count(), 2u);
+}
+
+TEST(ClassRegistryTest, FinalizerStored)
+{
+    ClassRegistry reg;
+    int calls = 0;
+    const class_id_t cls =
+        reg.registerScalar("F", 0, 0, [&](Object *) { ++calls; });
+    EXPECT_TRUE(reg.info(cls).hasFinalizer());
+    reg.info(cls).finalizer(nullptr);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ClassRegistryTest, ConcurrentRegistrationIsSafe)
+{
+    ClassRegistry reg;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < 50; ++i) {
+                reg.registerScalar("T" + std::to_string(t) + "_" +
+                                       std::to_string(i),
+                                   1, 8);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(reg.count(), 200u);
+    // Every id must resolve to a distinct descriptor.
+    for (class_id_t id = 0; id < 200; ++id)
+        EXPECT_EQ(reg.info(id).id, id);
+}
+
+} // namespace
+} // namespace lp

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the leak-pruning state machine (paper Fig. 2 and
+ * Section 3.1), including both SELECT->PRUNE trigger options.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/state_machine.h"
+
+namespace lp {
+namespace {
+
+LeakPruningConfig
+cfg(PruneTrigger trigger = PruneTrigger::AfterSelect)
+{
+    LeakPruningConfig c;
+    c.pruneTrigger = trigger;
+    return c;
+}
+
+TEST(StateMachineTest, StartsInactive)
+{
+    StateMachine sm(cfg());
+    EXPECT_EQ(sm.state(), PruningState::Inactive);
+}
+
+TEST(StateMachineTest, StaysInactiveBelowObserveThreshold)
+{
+    StateMachine sm(cfg());
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(sm.advance(0.4, false), PruningState::Inactive);
+}
+
+TEST(StateMachineTest, EntersObserveAboveThreshold)
+{
+    StateMachine sm(cfg());
+    EXPECT_EQ(sm.advance(0.51, false), PruningState::Observe);
+}
+
+TEST(StateMachineTest, NeverReturnsToInactive)
+{
+    // "Once leak pruning enters the OBSERVE state, it never returns to
+    // INACTIVE because it permanently considers the application to be
+    // in an unexpected state."
+    StateMachine sm(cfg());
+    sm.advance(0.6, false);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(sm.advance(0.01, false), PruningState::Observe);
+}
+
+TEST(StateMachineTest, ObserveToSelectWhenNearlyFull)
+{
+    StateMachine sm(cfg());
+    sm.advance(0.6, false);
+    EXPECT_EQ(sm.advance(0.89, false), PruningState::Observe);
+    EXPECT_EQ(sm.advance(0.9, false), PruningState::Select);
+}
+
+TEST(StateMachineTest, DefaultTriggerPrunesRightAfterSelect)
+{
+    StateMachine sm(cfg(PruneTrigger::AfterSelect));
+    sm.advance(0.6, false);
+    sm.advance(0.95, false);
+    ASSERT_EQ(sm.state(), PruningState::Select);
+    // A SELECT collection ran and found a victim: prune next.
+    EXPECT_EQ(sm.advance(0.95, true), PruningState::Prune);
+}
+
+TEST(StateMachineTest, SelectWithoutVictimStaysInSelect)
+{
+    StateMachine sm(cfg());
+    sm.advance(0.6, false);
+    sm.advance(0.95, false);
+    EXPECT_EQ(sm.advance(0.95, false), PruningState::Select)
+        << "nothing to prune yet: keep selecting";
+}
+
+TEST(StateMachineTest, SelectFallsBackToObserveWhenMemoryRecovers)
+{
+    StateMachine sm(cfg());
+    sm.advance(0.6, false);
+    sm.advance(0.95, false);
+    EXPECT_EQ(sm.advance(0.5, false), PruningState::Observe);
+}
+
+TEST(StateMachineTest, PruneReturnsToObserveWhenRecovered)
+{
+    StateMachine sm(cfg());
+    sm.advance(0.6, false);
+    sm.advance(0.95, false);
+    sm.advance(0.95, true); // -> Prune
+    ASSERT_EQ(sm.state(), PruningState::Prune);
+    EXPECT_EQ(sm.advance(0.6, false), PruningState::Observe);
+    EXPECT_TRUE(sm.hasPruned());
+}
+
+TEST(StateMachineTest, PruneReturnsToSelectWhenStillNearlyFull)
+{
+    StateMachine sm(cfg());
+    sm.advance(0.6, false);
+    sm.advance(0.95, false);
+    sm.advance(0.95, true); // -> Prune
+    EXPECT_EQ(sm.advance(0.95, false), PruningState::Select)
+        << "still nearly full after pruning: identify more references";
+}
+
+TEST(StateMachineTest, ExhaustionOptionWaitsForTrueOom)
+{
+    StateMachine sm(cfg(PruneTrigger::OnlyWhenExhausted));
+    sm.advance(0.6, false);
+    sm.advance(0.95, false);
+    ASSERT_EQ(sm.state(), PruningState::Select);
+    // Selection available, but memory never actually exhausted.
+    EXPECT_EQ(sm.advance(0.95, true), PruningState::Select);
+    EXPECT_EQ(sm.advance(0.99, true), PruningState::Select);
+    // The VM is about to throw an out-of-memory error.
+    sm.noteMemoryExhausted();
+    EXPECT_EQ(sm.advance(0.99, true), PruningState::Prune);
+}
+
+TEST(StateMachineTest, AfterFirstPruneExhaustionOptionActsLikeDefault)
+{
+    // "after entering PRUNE once, leak pruning always enters PRUNE on
+    // the next collection after entering SELECT, since the program has
+    // exhausted memory at least once."
+    StateMachine sm(cfg(PruneTrigger::OnlyWhenExhausted));
+    sm.advance(0.6, false);
+    sm.advance(0.95, false);
+    sm.noteMemoryExhausted();
+    sm.advance(0.99, true);  // -> Prune
+    sm.advance(0.95, false); // -> Select (still nearly full)
+    ASSERT_EQ(sm.state(), PruningState::Select);
+    EXPECT_EQ(sm.advance(0.95, true), PruningState::Prune)
+        << "no need to wait for exhaustion again";
+}
+
+TEST(StateMachineTest, FullCycleEndsBackInObserve)
+{
+    StateMachine sm(cfg());
+    EXPECT_EQ(sm.advance(0.3, false), PruningState::Inactive);
+    EXPECT_EQ(sm.advance(0.7, false), PruningState::Observe);
+    EXPECT_EQ(sm.advance(0.93, false), PruningState::Select);
+    EXPECT_EQ(sm.advance(0.94, true), PruningState::Prune);
+    EXPECT_EQ(sm.advance(0.55, false), PruningState::Observe);
+    EXPECT_EQ(sm.advance(0.97, false), PruningState::Select);
+}
+
+} // namespace
+} // namespace lp

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for safepoints and the worker pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "threads/safepoint.h"
+#include "threads/worker_pool.h"
+
+namespace lp {
+namespace {
+
+TEST(WorkerPoolTest, RunsOnAllWorkers)
+{
+    WorkerPool pool(4);
+    EXPECT_EQ(pool.parallelism(), 4u);
+    std::vector<std::atomic<int>> hits(4);
+    pool.runOnAll([&](std::size_t w) { hits[w].fetch_add(1); });
+    for (int w = 0; w < 4; ++w)
+        EXPECT_EQ(hits[w].load(), 1) << "worker " << w;
+}
+
+TEST(WorkerPoolTest, SingleWorkerRunsOnCaller)
+{
+    WorkerPool pool(1);
+    const auto caller = std::this_thread::get_id();
+    std::thread::id ran_on;
+    pool.runOnAll([&](std::size_t) { ran_on = std::this_thread::get_id(); });
+    EXPECT_EQ(ran_on, caller);
+}
+
+TEST(WorkerPoolTest, ReusableAcrossJobs)
+{
+    WorkerPool pool(3);
+    std::atomic<int> total{0};
+    for (int job = 0; job < 50; ++job)
+        pool.runOnAll([&](std::size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 150);
+}
+
+TEST(SafepointTest, StopWaitsForMutatorsToPark)
+{
+    ThreadRegistry reg;
+    reg.registerMutator(); // the "VM" thread
+
+    std::atomic<bool> run{true};
+    std::atomic<std::uint64_t> loops{0};
+    std::thread mutator([&] {
+        MutatorScope scope(reg);
+        while (run.load()) {
+            reg.pollSafepoint();
+            loops.fetch_add(1);
+        }
+    });
+
+    // Give the mutator a moment to start looping.
+    while (loops.load() < 1000)
+        std::this_thread::yield();
+
+    reg.stopTheWorld();
+    EXPECT_TRUE(reg.worldStopped());
+    const auto frozen = loops.load();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(loops.load(), frozen) << "mutator progressed during the pause";
+    reg.resumeTheWorld();
+
+    while (loops.load() == frozen)
+        std::this_thread::yield(); // must resume
+
+    run.store(false);
+    mutator.join();
+    reg.unregisterMutator();
+}
+
+TEST(SafepointTest, BlockedThreadsDoNotDelayStop)
+{
+    ThreadRegistry reg;
+    reg.registerMutator();
+
+    std::atomic<bool> release{false};
+    std::thread blocked_thread([&] {
+        MutatorScope scope(reg);
+        BlockedScope blocked(reg);
+        while (!release.load())
+            std::this_thread::yield();
+    });
+
+    while (reg.mutatorCount() < 2)
+        std::this_thread::yield();
+    // Even though the other thread never polls, stopping must succeed
+    // because it declared itself blocked.
+    reg.stopTheWorld();
+    reg.resumeTheWorld();
+
+    release.store(true);
+    blocked_thread.join();
+    reg.unregisterMutator();
+}
+
+TEST(SafepointTest, RepeatedStopResumeCycles)
+{
+    ThreadRegistry reg;
+    reg.registerMutator();
+    std::atomic<bool> run{true};
+    std::thread mutator([&] {
+        MutatorScope scope(reg);
+        while (run.load())
+            reg.pollSafepoint();
+    });
+    for (int i = 0; i < 100; ++i) {
+        reg.stopTheWorld();
+        reg.resumeTheWorld();
+    }
+    run.store(false);
+    mutator.join();
+    reg.unregisterMutator();
+}
+
+} // namespace
+} // namespace lp
