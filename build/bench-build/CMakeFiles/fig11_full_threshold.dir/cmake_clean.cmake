@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_full_threshold"
+  "../bench/fig11_full_threshold.pdb"
+  "CMakeFiles/fig11_full_threshold.dir/fig11_full_threshold.cpp.o"
+  "CMakeFiles/fig11_full_threshold.dir/fig11_full_threshold.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_full_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_eclipsediff_memory"
+  "../bench/fig1_eclipsediff_memory.pdb"
+  "CMakeFiles/fig1_eclipsediff_memory.dir/fig1_eclipsediff_memory.cpp.o"
+  "CMakeFiles/fig1_eclipsediff_memory.dir/fig1_eclipsediff_memory.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_eclipsediff_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

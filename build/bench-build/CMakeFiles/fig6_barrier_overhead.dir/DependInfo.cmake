@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_barrier_overhead.cpp" "bench-build/CMakeFiles/fig6_barrier_overhead.dir/fig6_barrier_overhead.cpp.o" "gcc" "bench-build/CMakeFiles/fig6_barrier_overhead.dir/fig6_barrier_overhead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/lp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/lp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/collections/CMakeFiles/lp_collections.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/lp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/lp_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/lp_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/object/CMakeFiles/lp_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/threads/CMakeFiles/lp_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_gc_time"
+  "../bench/fig7_gc_time.pdb"
+  "CMakeFiles/fig7_gc_time.dir/fig7_gc_time.cpp.o"
+  "CMakeFiles/fig7_gc_time.dir/fig7_gc_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_gc_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

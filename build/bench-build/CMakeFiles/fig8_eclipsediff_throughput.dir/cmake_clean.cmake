@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_eclipsediff_throughput"
+  "../bench/fig8_eclipsediff_throughput.pdb"
+  "CMakeFiles/fig8_eclipsediff_throughput.dir/fig8_eclipsediff_throughput.cpp.o"
+  "CMakeFiles/fig8_eclipsediff_throughput.dir/fig8_eclipsediff_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_eclipsediff_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_fig10_eclipsecp"
+  "../bench/fig9_fig10_eclipsecp.pdb"
+  "CMakeFiles/fig9_fig10_eclipsecp.dir/fig9_fig10_eclipsecp.cpp.o"
+  "CMakeFiles/fig9_fig10_eclipsecp.dir/fig9_fig10_eclipsecp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_fig10_eclipsecp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_leaks"
+  "../bench/table1_leaks.pdb"
+  "CMakeFiles/table1_leaks.dir/table1_leaks.cpp.o"
+  "CMakeFiles/table1_leaks.dir/table1_leaks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_leaks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

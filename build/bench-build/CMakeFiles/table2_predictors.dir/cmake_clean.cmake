@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_predictors"
+  "../bench/table2_predictors.pdb"
+  "CMakeFiles/table2_predictors.dir/table2_predictors.cpp.o"
+  "CMakeFiles/table2_predictors.dir/table2_predictors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leak_detective.dir/leak_detective.cpp.o"
+  "CMakeFiles/leak_detective.dir/leak_detective.cpp.o.d"
+  "leak_detective"
+  "leak_detective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leak_detective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

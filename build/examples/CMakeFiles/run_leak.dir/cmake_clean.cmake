@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_leak.dir/run_leak.cpp.o"
+  "CMakeFiles/run_leak.dir/run_leak.cpp.o.d"
+  "run_leak"
+  "run_leak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_leak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

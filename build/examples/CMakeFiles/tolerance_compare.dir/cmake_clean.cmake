@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tolerance_compare.dir/tolerance_compare.cpp.o"
+  "CMakeFiles/tolerance_compare.dir/tolerance_compare.cpp.o.d"
+  "tolerance_compare"
+  "tolerance_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tolerance_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

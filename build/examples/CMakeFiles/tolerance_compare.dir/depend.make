@@ -1,0 +1,2 @@
+# Empty dependencies file for tolerance_compare.
+# This may be replaced when dependencies are built.

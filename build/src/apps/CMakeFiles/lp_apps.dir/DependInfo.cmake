@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/delaunay.cpp" "src/apps/CMakeFiles/lp_apps.dir/delaunay.cpp.o" "gcc" "src/apps/CMakeFiles/lp_apps.dir/delaunay.cpp.o.d"
+  "/root/repo/src/apps/eclipse_leaks.cpp" "src/apps/CMakeFiles/lp_apps.dir/eclipse_leaks.cpp.o" "gcc" "src/apps/CMakeFiles/lp_apps.dir/eclipse_leaks.cpp.o.d"
+  "/root/repo/src/apps/jbb_leaks.cpp" "src/apps/CMakeFiles/lp_apps.dir/jbb_leaks.cpp.o" "gcc" "src/apps/CMakeFiles/lp_apps.dir/jbb_leaks.cpp.o.d"
+  "/root/repo/src/apps/leak_workload.cpp" "src/apps/CMakeFiles/lp_apps.dir/leak_workload.cpp.o" "gcc" "src/apps/CMakeFiles/lp_apps.dir/leak_workload.cpp.o.d"
+  "/root/repo/src/apps/microleaks.cpp" "src/apps/CMakeFiles/lp_apps.dir/microleaks.cpp.o" "gcc" "src/apps/CMakeFiles/lp_apps.dir/microleaks.cpp.o.d"
+  "/root/repo/src/apps/nonleaking.cpp" "src/apps/CMakeFiles/lp_apps.dir/nonleaking.cpp.o" "gcc" "src/apps/CMakeFiles/lp_apps.dir/nonleaking.cpp.o.d"
+  "/root/repo/src/apps/phased_leak.cpp" "src/apps/CMakeFiles/lp_apps.dir/phased_leak.cpp.o" "gcc" "src/apps/CMakeFiles/lp_apps.dir/phased_leak.cpp.o.d"
+  "/root/repo/src/apps/server_leaks.cpp" "src/apps/CMakeFiles/lp_apps.dir/server_leaks.cpp.o" "gcc" "src/apps/CMakeFiles/lp_apps.dir/server_leaks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/collections/CMakeFiles/lp_collections.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/lp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/lp_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/lp_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/object/CMakeFiles/lp_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/threads/CMakeFiles/lp_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_apps.dir/delaunay.cpp.o"
+  "CMakeFiles/lp_apps.dir/delaunay.cpp.o.d"
+  "CMakeFiles/lp_apps.dir/eclipse_leaks.cpp.o"
+  "CMakeFiles/lp_apps.dir/eclipse_leaks.cpp.o.d"
+  "CMakeFiles/lp_apps.dir/jbb_leaks.cpp.o"
+  "CMakeFiles/lp_apps.dir/jbb_leaks.cpp.o.d"
+  "CMakeFiles/lp_apps.dir/leak_workload.cpp.o"
+  "CMakeFiles/lp_apps.dir/leak_workload.cpp.o.d"
+  "CMakeFiles/lp_apps.dir/microleaks.cpp.o"
+  "CMakeFiles/lp_apps.dir/microleaks.cpp.o.d"
+  "CMakeFiles/lp_apps.dir/nonleaking.cpp.o"
+  "CMakeFiles/lp_apps.dir/nonleaking.cpp.o.d"
+  "CMakeFiles/lp_apps.dir/phased_leak.cpp.o"
+  "CMakeFiles/lp_apps.dir/phased_leak.cpp.o.d"
+  "CMakeFiles/lp_apps.dir/server_leaks.cpp.o"
+  "CMakeFiles/lp_apps.dir/server_leaks.cpp.o.d"
+  "liblp_apps.a"
+  "liblp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

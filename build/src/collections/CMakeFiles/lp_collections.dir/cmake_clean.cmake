@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_collections.dir/managed_hash_map.cpp.o"
+  "CMakeFiles/lp_collections.dir/managed_hash_map.cpp.o.d"
+  "CMakeFiles/lp_collections.dir/managed_list.cpp.o"
+  "CMakeFiles/lp_collections.dir/managed_list.cpp.o.d"
+  "CMakeFiles/lp_collections.dir/managed_string.cpp.o"
+  "CMakeFiles/lp_collections.dir/managed_string.cpp.o.d"
+  "CMakeFiles/lp_collections.dir/managed_vector.cpp.o"
+  "CMakeFiles/lp_collections.dir/managed_vector.cpp.o.d"
+  "liblp_collections.a"
+  "liblp_collections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_collections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

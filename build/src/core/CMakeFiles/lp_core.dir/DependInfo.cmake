@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/edge_table.cpp" "src/core/CMakeFiles/lp_core.dir/edge_table.cpp.o" "gcc" "src/core/CMakeFiles/lp_core.dir/edge_table.cpp.o.d"
+  "/root/repo/src/core/leak_pruning.cpp" "src/core/CMakeFiles/lp_core.dir/leak_pruning.cpp.o" "gcc" "src/core/CMakeFiles/lp_core.dir/leak_pruning.cpp.o.d"
+  "/root/repo/src/core/pruning_report.cpp" "src/core/CMakeFiles/lp_core.dir/pruning_report.cpp.o" "gcc" "src/core/CMakeFiles/lp_core.dir/pruning_report.cpp.o.d"
+  "/root/repo/src/core/state_machine.cpp" "src/core/CMakeFiles/lp_core.dir/state_machine.cpp.o" "gcc" "src/core/CMakeFiles/lp_core.dir/state_machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gc/CMakeFiles/lp_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/object/CMakeFiles/lp_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/threads/CMakeFiles/lp_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/lp_heap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

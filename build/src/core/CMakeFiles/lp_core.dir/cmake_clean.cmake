@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_core.dir/edge_table.cpp.o"
+  "CMakeFiles/lp_core.dir/edge_table.cpp.o.d"
+  "CMakeFiles/lp_core.dir/leak_pruning.cpp.o"
+  "CMakeFiles/lp_core.dir/leak_pruning.cpp.o.d"
+  "CMakeFiles/lp_core.dir/pruning_report.cpp.o"
+  "CMakeFiles/lp_core.dir/pruning_report.cpp.o.d"
+  "CMakeFiles/lp_core.dir/state_machine.cpp.o"
+  "CMakeFiles/lp_core.dir/state_machine.cpp.o.d"
+  "liblp_core.a"
+  "liblp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_gc.dir/collector.cpp.o"
+  "CMakeFiles/lp_gc.dir/collector.cpp.o.d"
+  "CMakeFiles/lp_gc.dir/mark_queue.cpp.o"
+  "CMakeFiles/lp_gc.dir/mark_queue.cpp.o.d"
+  "CMakeFiles/lp_gc.dir/tracer.cpp.o"
+  "CMakeFiles/lp_gc.dir/tracer.cpp.o.d"
+  "liblp_gc.a"
+  "liblp_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

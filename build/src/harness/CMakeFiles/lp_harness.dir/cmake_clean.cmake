@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_harness.dir/driver.cpp.o"
+  "CMakeFiles/lp_harness.dir/driver.cpp.o.d"
+  "CMakeFiles/lp_harness.dir/report.cpp.o"
+  "CMakeFiles/lp_harness.dir/report.cpp.o.d"
+  "liblp_harness.a"
+  "liblp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_heap.dir/heap.cpp.o"
+  "CMakeFiles/lp_heap.dir/heap.cpp.o.d"
+  "liblp_heap.a"
+  "liblp_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

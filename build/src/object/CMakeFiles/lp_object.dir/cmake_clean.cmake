@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_object.dir/class_info.cpp.o"
+  "CMakeFiles/lp_object.dir/class_info.cpp.o.d"
+  "liblp_object.a"
+  "liblp_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/threads/safepoint.cpp" "src/threads/CMakeFiles/lp_threads.dir/safepoint.cpp.o" "gcc" "src/threads/CMakeFiles/lp_threads.dir/safepoint.cpp.o.d"
+  "/root/repo/src/threads/worker_pool.cpp" "src/threads/CMakeFiles/lp_threads.dir/worker_pool.cpp.o" "gcc" "src/threads/CMakeFiles/lp_threads.dir/worker_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_threads.dir/safepoint.cpp.o"
+  "CMakeFiles/lp_threads.dir/safepoint.cpp.o.d"
+  "CMakeFiles/lp_threads.dir/worker_pool.cpp.o"
+  "CMakeFiles/lp_threads.dir/worker_pool.cpp.o.d"
+  "liblp_threads.a"
+  "liblp_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_util.dir/logging.cpp.o"
+  "CMakeFiles/lp_util.dir/logging.cpp.o.d"
+  "CMakeFiles/lp_util.dir/series.cpp.o"
+  "CMakeFiles/lp_util.dir/series.cpp.o.d"
+  "liblp_util.a"
+  "liblp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_vm.dir/disk_offload.cpp.o"
+  "CMakeFiles/lp_vm.dir/disk_offload.cpp.o.d"
+  "CMakeFiles/lp_vm.dir/handles.cpp.o"
+  "CMakeFiles/lp_vm.dir/handles.cpp.o.d"
+  "CMakeFiles/lp_vm.dir/runtime.cpp.o"
+  "CMakeFiles/lp_vm.dir/runtime.cpp.o.d"
+  "liblp_vm.a"
+  "liblp_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

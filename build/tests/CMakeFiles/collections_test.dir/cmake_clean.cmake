@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collections_test.dir/collections_test.cpp.o"
+  "CMakeFiles/collections_test.dir/collections_test.cpp.o.d"
+  "collections_test"
+  "collections_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collections_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_offload_test.dir/disk_offload_test.cpp.o"
+  "CMakeFiles/disk_offload_test.dir/disk_offload_test.cpp.o.d"
+  "disk_offload_test"
+  "disk_offload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_offload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_internals_test.dir/gc_internals_test.cpp.o"
+  "CMakeFiles/gc_internals_test.dir/gc_internals_test.cpp.o.d"
+  "gc_internals_test"
+  "gc_internals_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

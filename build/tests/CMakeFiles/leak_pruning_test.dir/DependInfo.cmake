@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/leak_pruning_test.cpp" "tests/CMakeFiles/leak_pruning_test.dir/leak_pruning_test.cpp.o" "gcc" "tests/CMakeFiles/leak_pruning_test.dir/leak_pruning_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/lp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/lp_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/lp_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/object/CMakeFiles/lp_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/threads/CMakeFiles/lp_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leak_pruning_test.dir/leak_pruning_test.cpp.o"
+  "CMakeFiles/leak_pruning_test.dir/leak_pruning_test.cpp.o.d"
+  "leak_pruning_test"
+  "leak_pruning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leak_pruning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
