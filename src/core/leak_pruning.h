@@ -149,6 +149,9 @@ class LeakPruning : public CollectionPlugin
     PruningState state() const { return machine_.state(); }
     const EdgeTable &edgeTable() const { return edge_table_; }
 
+    /** True once at least one PRUNE-state collection has run. */
+    bool hasPruned() const { return machine_.hasPruned(); }
+
     /** The edge type chosen by the last SELECT collection, if any. */
     const std::optional<EdgeEntrySnapshot> &selectedEdge() const { return selected_; }
 

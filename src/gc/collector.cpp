@@ -77,6 +77,12 @@ Collector::collect()
     stats_.refsPoisonedTotal += trace.refsPoisoned;
     stats_.lastLiveBytes = live_bytes;
 
+    // Post-collection analysis (heap verification) runs inside the
+    // existing pause: mark bits are freshly cleared and no mutator can
+    // race the walk.
+    if (post_collection_hook_)
+        post_collection_hook_(outcome);
+
     threads_.resumeTheWorld();
     return outcome;
 }

@@ -61,6 +61,18 @@ class Collector
     CollectionPlugin *plugin() const { return plugin_; }
 
     /**
+     * Install a hook run at the end of every collection, after the
+     * sweep and the plugin's endCollection but before the world
+     * resumes. The heap verifier uses this to piggyback its full-heap
+     * walk on the existing stop-the-world pause.
+     */
+    void
+    setPostCollectionHook(std::function<void(const CollectionOutcome &)> hook)
+    {
+        post_collection_hook_ = std::move(hook);
+    }
+
+    /**
      * Perform one full-heap collection. The caller must already hold
      * the allocation lock (so no concurrent collection can start).
      *
@@ -79,6 +91,7 @@ class Collector
     std::unique_ptr<WorkerPool> pool_;
     std::unique_ptr<Tracer> tracer_;
     CollectionPlugin *plugin_ = nullptr;
+    std::function<void(const CollectionOutcome &)> post_collection_hook_;
     GcStats stats_;
     std::uint64_t epoch_ = 0;
 };

@@ -47,6 +47,7 @@ runWorkload(const WorkloadInfo &info, const DriverConfig &config)
     rc.pruning.maxStaleUseDecayPeriod = config.decayPeriod;
     rc.pruning.staleUseMargin = config.staleUseMargin;
     rc.pruning.edgeTableSlots = config.edgeTableSlots;
+    rc.verifier = config.verifier;
     result.heapBytes = rc.heapBytes;
 
     Runtime rt(rc);

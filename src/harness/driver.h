@@ -59,6 +59,12 @@ struct DriverConfig {
     /** Edge-table slots (paper default 16K). */
     std::size_t edgeTableSlots = 16 * 1024;
     std::size_t gcThreads = 2;
+    /**
+     * Heap-verifier deployment for the run (forwarded to
+     * RuntimeConfig::verifier): enable with everyNCollections=1 and
+     * FailFast to assert a workload never violates a heap invariant.
+     */
+    HeapVerifierConfig verifier;
     std::uint64_t maxIterations = 200000;
     double maxSeconds = 20.0;
     bool recordSeries = false;  //!< keep per-iteration memory/time series

@@ -269,16 +269,24 @@ Heap::sweep(const std::function<void(Object *)> &on_dead)
 void
 Heap::forEachObject(const std::function<void(Object *)> &fn) const
 {
+    forEachObjectWithCharge([&](Object *obj, std::size_t) { fn(obj); });
+}
+
+void
+Heap::forEachObjectWithCharge(
+    const std::function<void(Object *, std::size_t)> &fn) const
+{
     for (const LargeAlloc &alloc : large_objects_)
-        fn(alloc.object);
+        fn(alloc.object, alloc.bytes);
     for (std::size_t c = 0; c < num_chunks_; ++c) {
         const ChunkInfo &info = chunks_[c];
         if (info.kind == ChunkKind::Small) {
             for (std::uint32_t b = 0; b < info.bump; ++b) {
                 if (info.inUse[b / 64] & (std::uint64_t{1} << (b % 64))) {
                     fn(reinterpret_cast<Object *>(
-                        chunkBase(c) +
-                        static_cast<std::size_t>(b) * info.blockBytes));
+                           chunkBase(c) +
+                           static_cast<std::size_t>(b) * info.blockBytes),
+                       info.blockBytes);
                 }
             }
         }
@@ -308,15 +316,25 @@ Heap::largestFreeBlock() const
 void
 Heap::verifyIntegrity() const
 {
+    checkIntegrity([](const std::string &msg) { panic(msg); });
+}
+
+void
+Heap::checkIntegrity(
+    const std::function<void(const std::string &)> &report) const
+{
     std::size_t used = 0;
     std::size_t free_seen = 0;
     std::size_t large_seen = 0;
     for (const LargeAlloc &alloc : large_objects_) {
-        LP_ASSERT(alloc.bytes > 0 && alloc.object, "bad LOS entry");
+        if (alloc.bytes == 0 || !alloc.object)
+            report("bad LOS entry");
         large_seen += alloc.bytes;
         used += alloc.bytes;
     }
-    LP_ASSERT(large_seen == large_bytes_, "LOS byte accounting drift");
+    if (large_seen != large_bytes_)
+        report(detail::concat("LOS byte accounting drift: walked ", large_seen,
+                              ", recorded ", large_bytes_));
     for (std::size_t c = 0; c < num_chunks_; ++c) {
         const ChunkInfo &info = chunks_[c];
         switch (info.kind) {
@@ -328,17 +346,25 @@ Heap::verifyIntegrity() const
             for (std::uint32_t b = 0; b < info.numBlocks; ++b) {
                 if (info.inUse[b / 64] & (std::uint64_t{1} << (b % 64))) {
                     ++bits;
-                    LP_ASSERT(b < info.bump, "in-use bit beyond bump");
+                    if (b >= info.bump)
+                        report(detail::concat("chunk ", c,
+                                              ": in-use bit beyond bump"));
                 }
             }
-            LP_ASSERT(bits == info.liveBlocks, "liveBlocks drift");
+            if (bits != info.liveBlocks)
+                report(detail::concat("chunk ", c, ": liveBlocks drift (", bits,
+                                      " bits vs ", info.liveBlocks, ")"));
             used += static_cast<std::size_t>(info.liveBlocks) * info.blockBytes;
             break;
           }
         }
     }
-    LP_ASSERT(free_seen == free_chunks_, "free chunk count drift");
-    LP_ASSERT(used == used_bytes_, "used-bytes accounting drift");
+    if (free_seen != free_chunks_)
+        report(detail::concat("free chunk count drift: walked ", free_seen,
+                              ", recorded ", free_chunks_));
+    if (used != used_bytes_)
+        report(detail::concat("used-bytes accounting drift: walked ", used,
+                              ", recorded ", used_bytes_));
 }
 
 } // namespace lp

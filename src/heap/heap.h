@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "object/object.h"
@@ -97,6 +98,15 @@ class Heap
     /** Visit every live (allocated) object. */
     void forEachObject(const std::function<void(Object *)> &fn) const;
 
+    /**
+     * Visit every live object together with the bytes the allocator
+     * charges for it (its block size in a small-object chunk, its
+     * page-rounded size in the LOS). The charges of all live objects
+     * sum to usedBytes() — the invariant the heap verifier checks.
+     */
+    void forEachObjectWithCharge(
+        const std::function<void(Object *, std::size_t)> &fn) const;
+
     /** Usable arena capacity in bytes. */
     std::size_t capacity() const { return num_chunks_ * kChunkBytes; }
 
@@ -138,6 +148,25 @@ class Heap
 
     /** Panic on any metadata/accounting inconsistency (tests). */
     void verifyIntegrity() const;
+
+    /**
+     * Check chunk metadata and byte accounting, reporting each
+     * inconsistency through @p report instead of panicking (the heap
+     * verifier's log-only mode needs the non-fatal form).
+     */
+    void
+    checkIntegrity(const std::function<void(const std::string &)> &report) const;
+
+    /**
+     * Corrupt the used-bytes counter by @p delta (fault-injection
+     * tests of the heap verifier only).
+     */
+    void
+    adjustUsedBytesForTesting(std::ptrdiff_t delta)
+    {
+        used_bytes_ = static_cast<std::size_t>(
+            static_cast<std::ptrdiff_t>(used_bytes_) + delta);
+    }
 
   private:
     enum class ChunkKind : std::uint8_t { Free, Small };

@@ -56,6 +56,20 @@ Runtime::Runtime(const RuntimeConfig &config)
     collector_ = std::make_unique<Collector>(heap_, registry_, *this, threads_,
                                              config_.gcThreads);
     collector_->setPlugin(tolerance_plugin_);
+
+    VerifierContext vctx;
+    vctx.heap = &heap_;
+    vctx.registry = &registry_;
+    vctx.roots = this;
+    vctx.pruning = pruning_.get();
+    vctx.gcStats = &collector_->stats();
+    vctx.offloadActive = offload_ != nullptr;
+    verifier_ = std::make_unique<HeapVerifier>(vctx, config_.verifier);
+    collector_->setPostCollectionHook([this](const CollectionOutcome &outcome) {
+        if (verifier_->due(outcome.epoch))
+            verifier_->verify(outcome.epoch);
+    });
+
     threads_.registerMutator(); // the constructing thread is a mutator
 }
 
@@ -78,6 +92,18 @@ Runtime::collectNow()
     AllocLock lock(alloc_mutex_, threads_);
     bytes_since_gc_ = 0;
     return collector_->collect();
+}
+
+VerifierReport
+Runtime::verifyHeap()
+{
+    // The allocation lock keeps any concurrent collection (which also
+    // stops the world) from interleaving with the verification pause.
+    AllocLock lock(alloc_mutex_, threads_);
+    threads_.stopTheWorld();
+    VerifierReport report = verifier_->verify(collector_->epoch());
+    threads_.resumeTheWorld();
+    return report;
 }
 
 void

@@ -29,6 +29,7 @@
 #include <mutex>
 #include <string>
 
+#include "analysis/heap_verifier.h"
 #include "core/config.h"
 #include "core/errors.h"
 #include "core/leak_pruning.h"
@@ -91,6 +92,13 @@ struct RuntimeConfig {
      * fill. Set to 0 to collect only on exhaustion.
      */
     double gcTriggerFraction = 1.0 / 16.0;
+    /**
+     * Heap-integrity verifier deployment: when enabled (the default in
+     * debug builds), a full-heap invariant walk runs inside the pause
+     * of every everyNCollections-th collection. Runtime::verifyHeap()
+     * runs a pass on demand regardless of `enabled`.
+     */
+    HeapVerifierConfig verifier;
 };
 
 /**
@@ -217,6 +225,17 @@ class Runtime : public RootProvider
         return *src->refSlotAddr(cls, slot);
     }
 
+    /**
+     * Store raw bits into a reference slot, bypassing the write path
+     * entirely (fault-injection tests of the heap verifier only).
+     */
+    void
+    pokeRefBitsForTesting(Object *src, std::size_t slot, ref_t bits)
+    {
+        const ClassInfo &cls = registry_.info(src->classId());
+        *src->refSlotAddr(cls, slot) = bits;
+    }
+
     // --- threads and safepoints --------------------------------------------
 
     ThreadRegistry &threads() { return threads_; }
@@ -238,6 +257,20 @@ class Runtime : public RootProvider
 
     /** Force a full-heap collection (tests, benches). */
     CollectionOutcome collectNow();
+
+    // --- heap-integrity verification ----------------------------------------
+
+    /**
+     * Run a heap-verifier pass right now: takes the allocation lock,
+     * stops the world (bringing every mutator to a safepoint), walks
+     * the heap, and resumes. Works whether or not the automatic
+     * post-collection pass is enabled; honors the configured
+     * fail-fast/log-only mode.
+     */
+    VerifierReport verifyHeap();
+
+    /** The verifier instance (pass history, run counts). */
+    const HeapVerifier &heapVerifier() const { return *verifier_; }
 
     // --- introspection ---------------------------------------------------------
 
@@ -298,6 +331,7 @@ class Runtime : public RootProvider
     std::unique_ptr<DiskOffload> offload_;
     CollectionPlugin *tolerance_plugin_ = nullptr; //!< whichever is active
     std::unique_ptr<Collector> collector_;
+    std::unique_ptr<HeapVerifier> verifier_;
     std::mutex alloc_mutex_;
     BarrierStats barrier_stats_;
     bool barriers_enabled_;

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Deliberate barrier-bypass offender for tools/lint_barriers.py's
+ * self-test. This file is NEVER compiled or linked; it exists so the
+ * lint's own CTest can prove the scanner actually detects raw
+ * tagged-reference access. Every pattern below is the kind of code
+ * the lint must keep out of collections/, apps/, and harness/.
+ */
+
+#include "object/object.h"
+#include "object/ref.h"
+
+namespace lp {
+
+// Raw reference load: reads a tagged slot without the read barrier.
+// A stale-check tag would be silently ignored and a poisoned (pruned)
+// reference would be dereferenced instead of throwing InternalError.
+Object *
+rawLoadBypassingBarrier(Object *src, const ClassInfo &cls, std::size_t slot)
+{
+    ref_t raw = *src->refSlotAddr(cls, slot); // offense: refSlotAddr
+    return refTarget(raw);                    // offense: refTarget
+}
+
+// Raw store that hand-rolls tag manipulation instead of writeRef.
+void
+rawStoreBypassingBarrier(Object *src, const ClassInfo &cls, std::size_t slot,
+                         Object *value)
+{
+    ref_t r = makeRef(value);      // offense: makeRef
+    r |= kStaleCheckBit;           // offense: kStaleCheckBit
+    if ((r & kTagMask) != 0)       // offense: kTagMask
+        r = refClean(r);           // offense: refClean
+    *src->refSlotAddr(cls, slot) = r;
+}
+
+} // namespace lp

@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""Barrier-bypass lint: find raw tagged-reference access outside the
+sanctioned layers.
+
+Leak pruning's whole correctness story depends on every reference load
+going through the conditional read barrier (Runtime::readRef): the
+barrier is what notices stale-check tags, throws on poisoned (pruned)
+references, and keeps the edge table honest. Code that touches
+reference words directly — the tag-bit constants, the ref_t
+tag-manipulation primitives from object/ref.h, or raw slot addresses —
+bypasses all of that, so raw access is only legal in the layers that
+*implement* the machinery:
+
+  - src/object/        the reference-word representation itself
+  - src/gc/            the tracer tags/poisons references during STW
+  - src/vm/runtime.*   the read barrier and the write path
+  - src/vm/handles.*   rooted slots store clean refs directly
+  - src/vm/disk_offload.*  stub encoding/faulting for the baseline
+  - src/analysis/heap_verifier.cpp  the invariant checker must look
+                       at raw bits by definition
+
+Everything else (collections, apps, harness, core policy code) must go
+through the Runtime API. This lint enforces that statically and runs
+as a CTest (`ctest -R lint_barriers`).
+
+Exit codes: 0 clean, 1 violations found, 2 usage/internal error.
+
+`--self-test` proves the scanner actually detects offenders by running
+it over tests/lint_fixtures/, which contains a deliberate raw
+reference load; the self-test passes iff that fixture is flagged.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Tokens that constitute raw tagged-reference access. Word-bounded so
+# e.g. "prefTargets" would not match.
+RAW_TOKENS = [
+    "kStaleCheckBit",
+    "kPoisonBit",
+    "kTagMask",
+    "makeRef",
+    "refTarget",
+    "refIsNull",
+    "refHasStaleCheck",
+    "refIsPoisoned",
+    "refWithStaleCheck",
+    "refPoisoned",
+    "refClean",
+    "refSlotAddr",
+]
+TOKEN_RE = re.compile(r"\b(" + "|".join(RAW_TOKENS) + r")\b")
+
+# Paths (relative to the repo root, '/'-separated) where raw access is
+# legal. Directory entries end with '/'. Keep this list tight: adding
+# to it is a design decision, not a convenience.
+ALLOWLIST = [
+    "src/object/",
+    "src/gc/",
+    "src/vm/runtime.h",
+    "src/vm/runtime.cpp",
+    "src/vm/handles.h",
+    "src/vm/handles.cpp",
+    "src/vm/disk_offload.h",
+    "src/vm/disk_offload.cpp",
+    "src/analysis/heap_verifier.cpp",
+]
+
+SOURCE_SUFFIXES = {".h", ".hpp", ".cpp", ".cc"}
+
+
+def is_allowed(rel_path: str) -> bool:
+    for entry in ALLOWLIST:
+        if entry.endswith("/"):
+            if rel_path.startswith(entry):
+                return True
+        elif rel_path == entry:
+            return True
+    return False
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line
+    structure so reported line numbers stay correct."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def scan_file(path: Path, rel: str):
+    """Yield (rel, line_number, token, line_text) violations."""
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as err:
+        print(f"lint_barriers: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    stripped = strip_comments_and_strings(text)
+    originals = text.splitlines()
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        for match in TOKEN_RE.finditer(line):
+            original = originals[lineno - 1].strip() if lineno <= len(originals) else ""
+            yield (rel, lineno, match.group(1), original)
+
+
+def scan_tree(root: Path, subdir: str, skip_allowlist: bool):
+    violations = []
+    base = root / subdir
+    if not base.is_dir():
+        print(f"lint_barriers: no such directory: {base}", file=sys.stderr)
+        sys.exit(2)
+    for path in sorted(base.rglob("*")):
+        if path.suffix not in SOURCE_SUFFIXES or not path.is_file():
+            continue
+        rel = path.relative_to(root).as_posix()
+        if not skip_allowlist and is_allowed(rel):
+            continue
+        violations.extend(scan_file(path, rel))
+    return violations
+
+
+def self_test(root: Path) -> int:
+    """The lint must flag the deliberate offender in the fixture dir,
+    and must NOT flag its comment-only companion."""
+    fixtures = root / "tests" / "lint_fixtures"
+    violations = scan_tree(root, "tests/lint_fixtures", skip_allowlist=True)
+    flagged = {v[0] for v in violations}
+    offender = "tests/lint_fixtures/raw_ref_load.cpp"
+    clean = "tests/lint_fixtures/commented_ref_use.cpp"
+    ok = True
+    if offender not in flagged:
+        print(f"self-test FAIL: {offender} was not flagged", file=sys.stderr)
+        ok = False
+    if clean in flagged:
+        print(f"self-test FAIL: {clean} (comments/strings only) was flagged",
+              file=sys.stderr)
+        ok = False
+    if not (fixtures / "raw_ref_load.cpp").is_file():
+        print(f"self-test FAIL: fixture missing under {fixtures}",
+              file=sys.stderr)
+        ok = False
+    if ok:
+        tokens = sorted({v[2] for v in violations})
+        print(f"self-test OK: fixture flagged ({len(violations)} finding(s), "
+              f"tokens: {', '.join(tokens)})")
+        return 0
+    return 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repository root (default: parent of tools/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the scanner flags the test fixture")
+    args = parser.parse_args()
+    root = args.root.resolve()
+
+    if args.self_test:
+        return self_test(root)
+
+    violations = scan_tree(root, "src", skip_allowlist=False)
+    if violations:
+        print(f"lint_barriers: {len(violations)} raw tagged-reference "
+              f"access(es) outside the allowlisted layers:\n")
+        for rel, lineno, token, line in violations:
+            print(f"  {rel}:{lineno}: [{token}] {line}")
+        print("\nReference words must be accessed through Runtime::readRef/"
+              "writeRef (the read barrier). If this file legitimately\n"
+              "implements barrier machinery, extend ALLOWLIST in "
+              "tools/lint_barriers.py — that is a design decision; say why "
+              "in the PR.")
+        return 1
+    print("lint_barriers: clean (allowlist: "
+          f"{len(ALLOWLIST)} entries, tokens: {len(RAW_TOKENS)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
