@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Allocation fast-path and parallel-sweep scaling microbenchmark.
+ *
+ * Part A (allocation): N mutator threads allocate a mixed size-class
+ * workload (small scalars through near-kLargeThreshold byte arrays),
+ * retaining a sparse chain so collections find both live and dead
+ * objects. Each thread count runs twice — thread-local allocation
+ * caches on (the default) and off (every allocation takes the global
+ * heap lock) — and reports allocations/second plus the GC pause
+ * breakdown for each.
+ *
+ * Part B (sweep): a fixed single-mutator workload builds a large heap
+ * and collects repeatedly while the GC worker-pool size varies;
+ * reported is the cumulative sweep time, which partitions the chunk
+ * list across the pool.
+ *
+ * Results print as a table and are recorded machine-readably in
+ * BENCH_alloc.json (current directory). hardware_concurrency is
+ * included in the JSON: on a single-core container neither part can
+ * show a real speedup, so archived numbers must carry the core count
+ * that produced them. --smoke shrinks every parameter for CI.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/report.h"
+#include "vm/handles.h"
+#include "vm/runtime.h"
+
+using namespace lp;
+
+namespace {
+
+struct AllocResult {
+    unsigned threads = 0;
+    bool tla = false;
+    double allocsPerSec = 0;
+    std::uint64_t collections = 0;
+    double totalPauseMs = 0;
+    double totalSweepMs = 0;
+};
+
+struct SweepResult {
+    unsigned gcThreads = 0;
+    std::uint64_t collections = 0;
+    double totalSweepMs = 0;
+};
+
+struct Params {
+    std::uint64_t allocsPerThread = 200000;
+    std::uint64_t sweepIterations = 60000;
+    std::vector<unsigned> threadCounts{1, 2, 4, 8};
+    std::vector<unsigned> gcThreadCounts{1, 2, 4, 8};
+};
+
+AllocResult
+runAllocation(unsigned num_threads, bool tla, std::uint64_t per_thread)
+{
+    RuntimeConfig cfg;
+    cfg.heapBytes = 64u << 20;
+    cfg.gcThreads = 2;
+    cfg.threadLocalAllocation = tla;
+    Runtime rt(cfg);
+
+    // Mixed size classes: three small scalar shapes plus a byte array
+    // near the large-object threshold exercises both the cache fast
+    // path and the locked LOS path.
+    const class_id_t small = rt.defineClass("bench.Small", 1, 16);
+    const class_id_t mid = rt.defineClass("bench.Mid", 2, 120);
+    const class_id_t big = rt.defineClass("bench.Big", 1, 480);
+    const class_id_t blob = rt.defineByteArrayClass("bench.Blob");
+
+    std::atomic<std::uint64_t> total{0};
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < num_threads; ++t) {
+        threads.emplace_back([&, t] {
+            MutatorScope mutator(rt.threads());
+            HandleScope scope(rt.roots());
+            Handle keep = scope.handle(nullptr);
+            std::uint64_t n = 0;
+            for (std::uint64_t i = 0; i < per_thread; ++i) {
+                Object *obj;
+                switch ((i + t) & 7) {
+                  case 0:
+                    obj = rt.allocateByteArray(blob, 2048);
+                    break;
+                  case 1:
+                  case 2:
+                    obj = rt.allocate(big);
+                    break;
+                  case 3:
+                  case 4:
+                  case 5:
+                    obj = rt.allocate(mid);
+                    break;
+                  default:
+                    obj = rt.allocate(small);
+                    break;
+                }
+                ++n;
+                // Retain a sparse chain through the ref-bearing
+                // shapes; everything else is immediate garbage.
+                if (((i + t) & 7) != 0 && (i & 63) == 0) {
+                    rt.writeRef(obj, 0, keep.get());
+                    keep.set(obj);
+                }
+                if ((i & 8191) == 0)
+                    keep.set(nullptr); // let the chain die periodically
+            }
+            total.fetch_add(n, std::memory_order_relaxed);
+        });
+    }
+    {
+        BlockedScope blocked(rt.threads());
+        for (auto &t : threads)
+            t.join();
+    }
+    const auto end = std::chrono::steady_clock::now();
+    const double secs =
+        std::chrono::duration<double>(end - start).count();
+
+    AllocResult r;
+    r.threads = num_threads;
+    r.tla = tla;
+    r.allocsPerSec = static_cast<double>(total.load()) / secs;
+    r.collections = rt.gcStats().collections;
+    r.totalPauseMs = static_cast<double>(rt.gcStats().totalPauseNanos) * 1e-6;
+    r.totalSweepMs = static_cast<double>(rt.gcStats().totalSweepNanos) * 1e-6;
+    return r;
+}
+
+SweepResult
+runSweep(unsigned gc_threads, std::uint64_t iterations)
+{
+    RuntimeConfig cfg;
+    cfg.heapBytes = 64u << 20;
+    cfg.gcThreads = gc_threads;
+    Runtime rt(cfg);
+    const class_id_t node = rt.defineClass("bench.SweepNode", 1, 48);
+
+    MutatorScope mutator(rt.threads());
+    HandleScope scope(rt.roots());
+    Handle keep = scope.handle(nullptr);
+    for (std::uint64_t i = 0; i < iterations; ++i) {
+        Object *obj = rt.allocate(node);
+        if ((i & 3) == 0) { // keep 1/4 live: sweeps see mixed chunks
+            rt.writeRef(obj, 0, keep.get());
+            keep.set(obj);
+        }
+        if ((i & 16383) == 0)
+            keep.set(nullptr);
+    }
+    rt.collectNow(); // at least one full sweep even in smoke runs
+
+    SweepResult r;
+    r.gcThreads = gc_threads;
+    r.collections = rt.gcStats().collections;
+    r.totalSweepMs = static_cast<double>(rt.gcStats().totalSweepNanos) * 1e-6;
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Params params;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            params.allocsPerThread = 4000;
+            params.sweepIterations = 4000;
+            params.threadCounts = {1, 2};
+            params.gcThreadCounts = {1, 2};
+        }
+    }
+
+    printBanner(std::cout, "micro_alloc_scaling",
+                "thread-local allocation caches vs the global heap lock, "
+                "and parallel chunk sweep across GC pool sizes");
+
+    std::vector<AllocResult> alloc_results;
+    TextTable alloc_table({"mutators", "mode", "allocs/sec", "GCs",
+                           "pause ms", "sweep ms"});
+    for (unsigned n : params.threadCounts) {
+        for (bool tla : {false, true}) {
+            const AllocResult r =
+                runAllocation(n, tla, params.allocsPerThread);
+            alloc_results.push_back(r);
+            char rate[32];
+            std::snprintf(rate, sizeof rate, "%.3g", r.allocsPerSec);
+            char pause[32];
+            std::snprintf(pause, sizeof pause, "%.2f", r.totalPauseMs);
+            char sweep[32];
+            std::snprintf(sweep, sizeof sweep, "%.2f", r.totalSweepMs);
+            alloc_table.addRow({std::to_string(n),
+                                tla ? "thread-cache" : "global-lock", rate,
+                                std::to_string(r.collections), pause, sweep});
+        }
+    }
+    alloc_table.print(std::cout);
+
+    std::vector<SweepResult> sweep_results;
+    TextTable sweep_table({"gc threads", "GCs", "sweep ms"});
+    for (unsigned n : params.gcThreadCounts) {
+        const SweepResult r = runSweep(n, params.sweepIterations);
+        sweep_results.push_back(r);
+        char sweep[32];
+        std::snprintf(sweep, sizeof sweep, "%.2f", r.totalSweepMs);
+        sweep_table.addRow({std::to_string(n),
+                            std::to_string(r.collections), sweep});
+    }
+    sweep_table.print(std::cout);
+
+    std::ofstream json("BENCH_alloc.json");
+    json << "{\n  \"hardware_concurrency\": "
+         << std::thread::hardware_concurrency() << ",\n"
+         << "  \"allocs_per_thread\": " << params.allocsPerThread << ",\n"
+         << "  \"allocation\": [\n";
+    for (std::size_t i = 0; i < alloc_results.size(); ++i) {
+        const AllocResult &r = alloc_results[i];
+        json << "    {\"mutators\": " << r.threads << ", \"mode\": \""
+             << (r.tla ? "thread-cache" : "global-lock")
+             << "\", \"allocs_per_sec\": " << r.allocsPerSec
+             << ", \"collections\": " << r.collections
+             << ", \"total_pause_ms\": " << r.totalPauseMs
+             << ", \"total_sweep_ms\": " << r.totalSweepMs << "}"
+             << (i + 1 < alloc_results.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n  \"sweep\": [\n";
+    for (std::size_t i = 0; i < sweep_results.size(); ++i) {
+        const SweepResult &r = sweep_results[i];
+        json << "    {\"gc_threads\": " << r.gcThreads
+             << ", \"collections\": " << r.collections
+             << ", \"total_sweep_ms\": " << r.totalSweepMs << "}"
+             << (i + 1 < sweep_results.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::cout << "\nwrote BENCH_alloc.json\n";
+    return 0;
+}

@@ -99,6 +99,15 @@ HeapVerifier::verify(std::uint64_t epoch)
         (ctx_.pruning && ctx_.pruning->hasPruned());
 
     // --- Phase 0: allocator metadata self-check --------------------------
+    // The verifier runs at stop-the-world points, after the runtime has
+    // retired every thread-local allocation cache; a chunk still on
+    // lease here means the safepoint flush protocol broke, and every
+    // byte invariant below would be checked against stale counters.
+    if (heap.leasedChunkCount() != 0)
+        addViolation(report, InvariantCheck::Accounting,
+                     detail::concat(heap.leasedChunkCount(),
+                                    " chunk lease(s) outstanding at a "
+                                    "stop-the-world verification point"));
     // Chunk tables, in-use bitmaps, free-chunk and byte counters.
     heap.checkIntegrity([&](const std::string &msg) {
         addViolation(report, InvariantCheck::Accounting, msg);

@@ -25,6 +25,12 @@ Collector::collect()
     threads_.stopTheWorld();
     const std::uint64_t pause_start = nowNanos();
 
+    // Fold thread-local allocation caches back into the heap before
+    // touching it: sweep requires every chunk lease retired, and the
+    // verifier's charge-sum invariant needs exact byte accounting.
+    if (world_stopped_hook_)
+        world_stopped_hook_();
+
     ++epoch_;
     if (plugin_)
         plugin_->beginCollection(epoch_);
@@ -44,16 +50,25 @@ Collector::collect()
     // unless the plugin's finalizer policy has turned them off — and
     // recycle their blocks. By default the paper (and we) keep calling
     // finalizers after pruning starts (Section 2).
+    // The sweep itself is partitioned across the worker pool; only
+    // dead objects whose class has a finalizer are funneled back to
+    // this thread (headers intact) — the filter below runs on workers,
+    // so it is a pure read of immutable class metadata.
     std::uint64_t finalized = 0;
     const bool finalizers_on = !plugin_ || plugin_->finalizersEnabled();
-    const std::size_t live_bytes = heap_.sweep([&](Object *obj) {
-        const ClassInfo &cls = registry_.info(obj->classId());
-        if (finalizers_on && cls.hasFinalizer() &&
-            obj->tryEnqueueFinalizer()) {
-            ++finalized;
-            cls.finalizer(obj);
-        }
-    });
+    const std::size_t live_bytes = heap_.sweep(
+        pool_.get(),
+        [&](Object *obj) {
+            return finalizers_on &&
+                   registry_.info(obj->classId()).hasFinalizer();
+        },
+        [&](Object *obj) {
+            const ClassInfo &cls = registry_.info(obj->classId());
+            if (obj->tryEnqueueFinalizer()) {
+                ++finalized;
+                cls.finalizer(obj);
+            }
+        });
     const std::uint64_t sweep_end = nowNanos();
 
     CollectionOutcome outcome;

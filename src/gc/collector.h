@@ -73,6 +73,19 @@ class Collector
     }
 
     /**
+     * Install a hook run immediately after the world stops, before
+     * any tracing. The runtime uses this to retire every thread-local
+     * allocation cache: all mutators are parked or blocked at that
+     * point, so the central flush sees consistent cursors and the
+     * sweep/verifier run against exact chunk metadata.
+     */
+    void
+    setWorldStoppedHook(std::function<void()> hook)
+    {
+        world_stopped_hook_ = std::move(hook);
+    }
+
+    /**
      * Perform one full-heap collection. The caller must already hold
      * the allocation lock (so no concurrent collection can start).
      *
@@ -91,6 +104,7 @@ class Collector
     std::unique_ptr<WorkerPool> pool_;
     std::unique_ptr<Tracer> tracer_;
     CollectionPlugin *plugin_ = nullptr;
+    std::function<void()> world_stopped_hook_;
     std::function<void(const CollectionOutcome &)> post_collection_hook_;
     GcStats stats_;
     std::uint64_t epoch_ = 0;

@@ -158,6 +158,22 @@ class CollectionPlugin
      * age objects).
      */
     virtual void pauseStalenessClock(bool paused) { (void)paused; }
+
+    /**
+     * May the staleness clock keep ticking through out-of-memory retry
+     * collections, even though no program code runs between them?
+     *
+     * The allocation-driven clock freezes exactly when an exhausted
+     * heap most needs idle objects to age toward the scheme's
+     * threshold; without exhaustion ticks a scheme whose candidates
+     * were all recently touched can deadlock into a spurious OOM.
+     * But forced aging also pushes *live* briefly-idle objects past
+     * the threshold, so it is only safe for schemes whose
+     * mispredictions are recoverable (disk offload faults the object
+     * back in). Pruning reclaims irrevocably and must keep the
+     * conservative clock (paper Section 6.1).
+     */
+    virtual bool agesUnderExhaustion() const { return false; }
 };
 
 } // namespace lp

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
+#include "threads/worker_pool.h"
 #include "util/logging.h"
 
 namespace lp {
@@ -43,7 +45,7 @@ Heap::Heap(std::size_t capacity)
     // is all objects need; chunk alignment simplifies nothing here, so
     // just word-align).
     arena_base_ = roundUp(reinterpret_cast<word_t>(storage_.get()), kWordBytes);
-    free_chunks_ = num_chunks_;
+    free_chunks_.store(num_chunks_, std::memory_order_relaxed);
 }
 
 Heap::~Heap() = default;
@@ -60,6 +62,7 @@ Heap::contains(const void *p) const
     const auto a = reinterpret_cast<word_t>(p);
     if (a >= arena_base_ && a < arena_base_ + capacity())
         return true;
+    std::lock_guard<std::mutex> lock(mutex_);
     for (const LargeAlloc &alloc : large_objects_) {
         const auto base = reinterpret_cast<word_t>(alloc.object);
         if (a >= base && a < base + alloc.bytes)
@@ -80,11 +83,18 @@ Heap::classFor(std::size_t bytes) const
 }
 
 std::size_t
-Heap::takeFreeChunk()
+Heap::sizeClassFor(std::size_t bytes) const
+{
+    return classFor(std::max(bytes, kMinBlockBytes));
+}
+
+std::size_t
+Heap::takeFreeChunkLocked()
 {
     // The large-object space draws on the same byte budget, so a free
     // chunk may exist yet be unaffordable.
-    if (free_chunks_ == 0 || committedBytes() + kChunkBytes > capacity())
+    if (free_chunks_.load(std::memory_order_relaxed) == 0 ||
+        committedBytes() + kChunkBytes > capacity())
         return npos;
     for (std::size_t i = 0; i < num_chunks_; ++i) {
         if (chunks_[i].kind == ChunkKind::Free)
@@ -93,8 +103,26 @@ Heap::takeFreeChunk()
     return npos;
 }
 
+void
+Heap::commissionChunkLocked(std::size_t chunk, std::size_t cls)
+{
+    ChunkInfo &info = chunks_[chunk];
+    const std::uint32_t block_bytes = class_sizes_[cls];
+    info.kind = ChunkKind::Small;
+    info.sizeClass = static_cast<std::uint16_t>(cls);
+    info.blockBytes = block_bytes;
+    info.numBlocks = static_cast<std::uint32_t>(kChunkBytes / block_bytes);
+    info.liveBlocks = 0;
+    info.bump = 0;
+    info.freeHead = -1;
+    info.inUse.assign((info.numBlocks + 63) / 64, 0);
+    info.inPartialList = false;
+    info.leased = false;
+    free_chunks_.fetch_sub(1, std::memory_order_relaxed);
+}
+
 void *
-Heap::allocateSmall(std::size_t bytes)
+Heap::allocateSmallLocked(std::size_t bytes)
 {
     const std::size_t cls = classFor(std::max(bytes, kMinBlockBytes));
     const std::uint32_t block_bytes = class_sizes_[cls];
@@ -102,21 +130,12 @@ Heap::allocateSmall(std::size_t bytes)
     // Find a chunk of this class with room, or commission a free one.
     while (true) {
         if (partial_[cls].empty()) {
-            const std::size_t chunk = takeFreeChunk();
+            const std::size_t chunk = takeFreeChunkLocked();
             if (chunk == npos)
                 return nullptr;
-            ChunkInfo &info = chunks_[chunk];
-            info.kind = ChunkKind::Small;
-            info.sizeClass = static_cast<std::uint16_t>(cls);
-            info.blockBytes = block_bytes;
-            info.numBlocks = static_cast<std::uint32_t>(kChunkBytes / block_bytes);
-            info.liveBlocks = 0;
-            info.bump = 0;
-            info.freeHead = -1;
-            info.inUse.assign((info.numBlocks + 63) / 64, 0);
-            info.inPartialList = true;
+            commissionChunkLocked(chunk, cls);
+            chunks_[chunk].inPartialList = true;
             partial_[cls].push_back(static_cast<std::uint32_t>(chunk));
-            --free_chunks_;
         }
 
         const std::uint32_t chunk = partial_[cls].back();
@@ -139,13 +158,13 @@ Heap::allocateSmall(std::size_t bytes)
         info.inUse[static_cast<std::size_t>(block) / 64] |=
             std::uint64_t{1} << (static_cast<std::size_t>(block) % 64);
         ++info.liveBlocks;
-        used_bytes_ += block_bytes;
+        used_bytes_.fetch_add(block_bytes, std::memory_order_relaxed);
         return chunkBase(chunk) + static_cast<std::size_t>(block) * block_bytes;
     }
 }
 
 void *
-Heap::allocateLarge(std::size_t bytes)
+Heap::allocateLargeLocked(std::size_t bytes)
 {
     // Charge page-rounded bytes against the heap budget; the backing
     // memory is a fresh host allocation (MMTk-style LOS: virtual
@@ -161,16 +180,17 @@ Heap::allocateLarge(std::size_t bytes)
     alloc.object = reinterpret_cast<Object *>(
         roundUp(reinterpret_cast<word_t>(alloc.storage.get()), kWordBytes));
     large_objects_.push_back(std::move(alloc));
-    large_bytes_ += charged;
-    used_bytes_ += charged;
+    large_bytes_.fetch_add(charged, std::memory_order_relaxed);
+    used_bytes_.fetch_add(charged, std::memory_order_relaxed);
     return large_objects_.back().object;
 }
 
 void *
 Heap::allocate(std::size_t bytes)
 {
-    void *mem = bytes > kLargeThreshold ? allocateLarge(bytes)
-                                        : allocateSmall(bytes);
+    std::lock_guard<std::mutex> lock(mutex_);
+    void *mem = bytes > kLargeThreshold ? allocateLargeLocked(bytes)
+                                        : allocateSmallLocked(bytes);
     if (!mem) {
         ++stats_.failedAllocations;
         return nullptr;
@@ -180,114 +200,306 @@ Heap::allocate(std::size_t bytes)
     return mem;
 }
 
+bool
+Heap::leaseChunk(std::size_t size_class, ChunkLease &lease)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t chunk = npos;
+    while (!partial_[size_class].empty()) {
+        const std::uint32_t candidate = partial_[size_class].back();
+        partial_[size_class].pop_back();
+        ChunkInfo &info = chunks_[candidate];
+        info.inPartialList = false;
+        if (info.freeHead >= 0 || info.bump < info.numBlocks) {
+            chunk = candidate;
+            break;
+        }
+        // Exhausted chunk that lingered on the list; leave it retired.
+    }
+    if (chunk == npos) {
+        chunk = takeFreeChunkLocked();
+        if (chunk == npos)
+            return false;
+        commissionChunkLocked(chunk, size_class);
+    }
+
+    ChunkInfo &info = chunks_[chunk];
+    info.leased = true;
+    ++leased_chunks_;
+    lease.chunkIndex = chunk;
+    lease.base = chunkBase(chunk);
+    lease.inUse = info.inUse.data();
+    lease.blockBytes = info.blockBytes;
+    lease.numBlocks = info.numBlocks;
+    lease.bump = info.bump;
+    lease.freeHead = info.freeHead;
+    lease.allocated = 0;
+    return true;
+}
+
+void
+Heap::retireChunk(ChunkLease &lease)
+{
+    if (!lease.valid())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ChunkInfo &info = chunks_[lease.chunkIndex];
+    LP_ASSERT(info.leased, "retiring a chunk that is not leased");
+    info.bump = lease.bump;
+    info.freeHead = lease.freeHead;
+    info.liveBlocks += lease.allocated;
+    info.leased = false;
+    --leased_chunks_;
+    used_bytes_.fetch_add(
+        static_cast<std::size_t>(lease.allocated) * lease.blockBytes,
+        std::memory_order_relaxed);
+
+    if (info.liveBlocks == 0 && info.bump == 0) {
+        // Fresh chunk the cache never carved from: back to the pool.
+        makeChunkFree(lease.chunkIndex);
+    } else if (info.freeHead >= 0 || info.bump < info.numBlocks) {
+        info.inPartialList = true;
+        partial_[info.sizeClass].push_back(
+            static_cast<std::uint32_t>(lease.chunkIndex));
+    }
+    lease = ChunkLease{};
+}
+
+void
+Heap::noteCacheAllocations(std::uint64_t count, std::uint64_t bytes)
+{
+    if (count == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.allocations += count;
+    stats_.bytesAllocated += bytes;
+}
+
+std::size_t
+Heap::leasedChunkCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return leased_chunks_;
+}
+
 void
 Heap::makeChunkFree(std::size_t chunk)
 {
     ChunkInfo &info = chunks_[chunk];
     info = ChunkInfo{};
-    ++free_chunks_;
+    free_chunks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+/** Per-worker tallies from one parallel-sweep partition. */
+struct Heap::SweepPartition {
+    std::size_t liveBytes = 0;       //!< surviving small + LOS bytes
+    std::uint64_t objectsFreed = 0;  //!< recycled directly on the worker
+    std::uint64_t bytesFreed = 0;
+    //! Dead blocks the filter kept for the serial visitor (chunk, block).
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> deferred;
+    std::vector<std::size_t> deadLarge; //!< dead LOS indices (freed serially)
+};
+
+void
+Heap::sweepPartition(std::size_t worker, std::size_t num_workers,
+                     DeadFilter defer_dead, SweepPartition &part)
+{
+    // Contiguous ranges: workers own disjoint chunks (and disjoint LOS
+    // index ranges), so all per-chunk metadata writes are race-free.
+    const std::size_t chunk_lo = worker * num_chunks_ / num_workers;
+    const std::size_t chunk_hi = (worker + 1) * num_chunks_ / num_workers;
+    for (std::size_t c = chunk_lo; c < chunk_hi; ++c) {
+        ChunkInfo &info = chunks_[c];
+        if (info.kind != ChunkKind::Small)
+            continue;
+        unsigned char *base = chunkBase(c);
+        for (std::uint32_t b = 0; b < info.bump; ++b) {
+            const std::uint64_t bit = std::uint64_t{1} << (b % 64);
+            if (!(info.inUse[b / 64] & bit))
+                continue;
+            auto *obj = reinterpret_cast<Object *>(
+                base + static_cast<std::size_t>(b) * info.blockBytes);
+            if (obj->marked()) {
+                obj->clearMark();
+                part.liveBytes += info.blockBytes;
+            } else if (defer_dead(obj)) {
+                // Keep the header intact for the serial visitor; the
+                // epilogue recycles the block after visiting it.
+                part.deferred.emplace_back(static_cast<std::uint32_t>(c), b);
+            } else {
+                // Recycle in place: clear the bit and chain the block
+                // into the chunk-local free list (stored as index+1 so
+                // 0 means "end"; this clobbers the object header).
+                info.inUse[b / 64] &= ~bit;
+                --info.liveBlocks;
+                *reinterpret_cast<word_t *>(
+                    base + static_cast<std::size_t>(b) * info.blockBytes) =
+                    static_cast<word_t>(info.freeHead + 1);
+                info.freeHead = static_cast<std::int32_t>(b);
+                ++part.objectsFreed;
+                part.bytesFreed += info.blockBytes;
+            }
+        }
+    }
+
+    const std::size_t num_large = large_objects_.size();
+    const std::size_t large_lo = worker * num_large / num_workers;
+    const std::size_t large_hi = (worker + 1) * num_large / num_workers;
+    for (std::size_t i = large_lo; i < large_hi; ++i) {
+        LargeAlloc &alloc = large_objects_[i];
+        if (alloc.object->marked()) {
+            alloc.object->clearMark();
+            part.liveBytes += alloc.bytes;
+        } else {
+            // Freeing mutates the shared LOS index; defer to the
+            // serial epilogue (which also runs the filter/visitor).
+            part.deadLarge.push_back(i);
+        }
+    }
 }
 
 std::size_t
-Heap::sweep(const std::function<void(Object *)> &on_dead)
+Heap::sweep(WorkerPool *pool, DeadFilter defer_dead, DeadVisitor on_dead)
 {
+    LP_ASSERT(leased_chunks_ == 0,
+              "sweep with outstanding chunk leases (retire at safepoint)");
     ++stats_.sweeps;
     for (auto &list : partial_)
         list.clear();
 
-    std::size_t live_bytes = 0;
+    const std::size_t num_workers =
+        (pool && pool->parallelism() > 1) ? pool->parallelism() : 1;
+    std::vector<SweepPartition> parts(num_workers);
+    if (num_workers > 1) {
+        pool->runOnAll([&](std::size_t w) {
+            sweepPartition(w, num_workers, defer_dead, parts[w]);
+        });
+    } else {
+        sweepPartition(0, 1, defer_dead, parts[0]);
+    }
 
-    // Large-object space: free unmarked entries, compacting the index.
-    {
-        std::size_t keep = 0;
-        for (std::size_t i = 0; i < large_objects_.size(); ++i) {
-            LargeAlloc &alloc = large_objects_[i];
-            if (alloc.object->marked()) {
-                alloc.object->clearMark();
-                live_bytes += alloc.bytes;
-                if (keep != i)
-                    large_objects_[keep] = std::move(alloc);
-                ++keep;
-            } else {
-                on_dead(alloc.object);
+    // --- serial epilogue (calling thread) ---------------------------------
+
+    std::size_t live_bytes = 0;
+    for (const SweepPartition &part : parts) {
+        live_bytes += part.liveBytes;
+        stats_.objectsFreed += part.objectsFreed;
+        stats_.bytesFreed += part.bytesFreed;
+    }
+
+    // Deferred dead blocks: visit with the header intact, then recycle.
+    for (const SweepPartition &part : parts) {
+        for (const auto &[c, b] : part.deferred) {
+            ChunkInfo &info = chunks_[c];
+            unsigned char *addr =
+                chunkBase(c) + static_cast<std::size_t>(b) * info.blockBytes;
+            on_dead(reinterpret_cast<Object *>(addr));
+            info.inUse[b / 64] &= ~(std::uint64_t{1} << (b % 64));
+            --info.liveBlocks;
+            *reinterpret_cast<word_t *>(addr) =
+                static_cast<word_t>(info.freeHead + 1);
+            info.freeHead = static_cast<std::int32_t>(b);
+            ++stats_.objectsFreed;
+            stats_.bytesFreed += info.blockBytes;
+        }
+    }
+
+    // Dead LOS entries: filter/visit serially, then compact the index.
+    if (!large_objects_.empty()) {
+        std::vector<unsigned char> los_dead(large_objects_.size(), 0);
+        bool any = false;
+        for (const SweepPartition &part : parts) {
+            for (std::size_t i : part.deadLarge) {
+                los_dead[i] = 1;
+                any = true;
+            }
+        }
+        if (any) {
+            std::size_t keep = 0;
+            for (std::size_t i = 0; i < large_objects_.size(); ++i) {
+                LargeAlloc &alloc = large_objects_[i];
+                if (!los_dead[i]) {
+                    if (keep != i)
+                        large_objects_[keep] = std::move(alloc);
+                    ++keep;
+                    continue;
+                }
+                if (defer_dead(alloc.object))
+                    on_dead(alloc.object);
                 ++stats_.objectsFreed;
                 stats_.bytesFreed += alloc.bytes;
-                large_bytes_ -= alloc.bytes;
+                large_bytes_.fetch_sub(alloc.bytes, std::memory_order_relaxed);
             }
+            large_objects_.resize(keep);
         }
-        large_objects_.resize(keep);
     }
 
+    // Chunk disposition: rebuild the partial lists, release empties.
     for (std::size_t c = 0; c < num_chunks_; ++c) {
         ChunkInfo &info = chunks_[c];
-        switch (info.kind) {
-          case ChunkKind::Free:
-            break;
-
-          case ChunkKind::Small: {
-            unsigned char *base = chunkBase(c);
-            for (std::uint32_t b = 0; b < info.bump; ++b) {
-                const std::uint64_t bit = std::uint64_t{1} << (b % 64);
-                if (!(info.inUse[b / 64] & bit))
-                    continue;
-                auto *obj = reinterpret_cast<Object *>(
-                    base + static_cast<std::size_t>(b) * info.blockBytes);
-                if (obj->marked()) {
-                    obj->clearMark();
-                    live_bytes += info.blockBytes;
-                } else {
-                    on_dead(obj);
-                    ++stats_.objectsFreed;
-                    stats_.bytesFreed += info.blockBytes;
-                    info.inUse[b / 64] &= ~bit;
-                    --info.liveBlocks;
-                    // Chain the block into the chunk-local free list
-                    // (stored as index+1 so 0 means "end").
-                    *reinterpret_cast<word_t *>(
-                        base + static_cast<std::size_t>(b) * info.blockBytes) =
-                        static_cast<word_t>(info.freeHead + 1);
-                    info.freeHead = static_cast<std::int32_t>(b);
-                }
-            }
-            if (info.liveBlocks == 0) {
-                makeChunkFree(c);
-            } else if (info.freeHead >= 0 || info.bump < info.numBlocks) {
-                info.inPartialList = true;
-                partial_[info.sizeClass].push_back(
-                    static_cast<std::uint32_t>(c));
-            } else {
-                info.inPartialList = false;
-            }
-            break;
-          }
+        if (info.kind != ChunkKind::Small)
+            continue;
+        if (info.liveBlocks == 0) {
+            makeChunkFree(c);
+        } else if (info.freeHead >= 0 || info.bump < info.numBlocks) {
+            info.inPartialList = true;
+            partial_[info.sizeClass].push_back(static_cast<std::uint32_t>(c));
+        } else {
+            info.inPartialList = false;
         }
     }
-    used_bytes_ = live_bytes;
+
+    used_bytes_.store(live_bytes, std::memory_order_relaxed);
+
+    // The merged live total must agree exactly with the post-sweep
+    // metadata: partial sums from workers are not allowed to drift.
+    std::size_t metadata_live = large_bytes_.load(std::memory_order_relaxed);
+    for (std::size_t c = 0; c < num_chunks_; ++c) {
+        const ChunkInfo &info = chunks_[c];
+        if (info.kind == ChunkKind::Small)
+            metadata_live +=
+                static_cast<std::size_t>(info.liveBlocks) * info.blockBytes;
+    }
+    LP_ASSERT(metadata_live == live_bytes,
+              "parallel sweep live-bytes drift vs chunk metadata");
+
     return live_bytes;
 }
 
+std::size_t
+Heap::sweep(DeadVisitor on_dead)
+{
+    // Historical contract: every reclaimed object is visited before
+    // its memory is recycled.
+    return sweep(nullptr, [](Object *) { return true; }, on_dead);
+}
+
 void
-Heap::forEachObject(const std::function<void(Object *)> &fn) const
+Heap::forEachObject(FunctionRef<void(Object *)> fn) const
 {
     forEachObjectWithCharge([&](Object *obj, std::size_t) { fn(obj); });
 }
 
 void
 Heap::forEachObjectWithCharge(
-    const std::function<void(Object *, std::size_t)> &fn) const
+    FunctionRef<void(Object *, std::size_t)> fn) const
 {
     for (const LargeAlloc &alloc : large_objects_)
         fn(alloc.object, alloc.bytes);
     for (std::size_t c = 0; c < num_chunks_; ++c) {
         const ChunkInfo &info = chunks_[c];
-        if (info.kind == ChunkKind::Small) {
-            for (std::uint32_t b = 0; b < info.bump; ++b) {
-                if (info.inUse[b / 64] & (std::uint64_t{1} << (b % 64))) {
-                    fn(reinterpret_cast<Object *>(
-                           chunkBase(c) +
-                           static_cast<std::size_t>(b) * info.blockBytes),
-                       info.blockBytes);
-                }
+        if (info.kind != ChunkKind::Small)
+            continue;
+        // A leased chunk's bump cursor lives in the lease, so the
+        // recorded one is stale; the bitmap is authoritative. Walk all
+        // blocks (bits never appear beyond the true cursor).
+        const std::uint32_t limit = info.leased ? info.numBlocks : info.bump;
+        for (std::uint32_t b = 0; b < limit; ++b) {
+            if (info.inUse[b / 64] & (std::uint64_t{1} << (b % 64))) {
+                fn(reinterpret_cast<Object *>(
+                       chunkBase(c) +
+                       static_cast<std::size_t>(b) * info.blockBytes),
+                   info.blockBytes);
             }
         }
     }
@@ -296,6 +508,7 @@ Heap::forEachObjectWithCharge(
 std::size_t
 Heap::largestFreeBlock() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     // The LOS can satisfy any request up to the remaining byte budget
     // (rounded down to page granularity).
     const std::size_t budget = capacity() - committedBytes();
@@ -321,20 +534,23 @@ Heap::verifyIntegrity() const
 
 void
 Heap::checkIntegrity(
-    const std::function<void(const std::string &)> &report) const
+    FunctionRef<void(const std::string &)> report) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::size_t used = 0;
     std::size_t free_seen = 0;
     std::size_t large_seen = 0;
+    bool leases = leased_chunks_ != 0;
     for (const LargeAlloc &alloc : large_objects_) {
         if (alloc.bytes == 0 || !alloc.object)
             report("bad LOS entry");
         large_seen += alloc.bytes;
         used += alloc.bytes;
     }
-    if (large_seen != large_bytes_)
+    if (large_seen != large_bytes_.load(std::memory_order_relaxed))
         report(detail::concat("LOS byte accounting drift: walked ", large_seen,
-                              ", recorded ", large_bytes_));
+                              ", recorded ",
+                              large_bytes_.load(std::memory_order_relaxed)));
     for (std::size_t c = 0; c < num_chunks_; ++c) {
         const ChunkInfo &info = chunks_[c];
         switch (info.kind) {
@@ -346,25 +562,49 @@ Heap::checkIntegrity(
             for (std::uint32_t b = 0; b < info.numBlocks; ++b) {
                 if (info.inUse[b / 64] & (std::uint64_t{1} << (b % 64))) {
                     ++bits;
-                    if (b >= info.bump)
+                    if (!info.leased && b >= info.bump)
                         report(detail::concat("chunk ", c,
                                               ": in-use bit beyond bump"));
                 }
             }
-            if (bits != info.liveBlocks)
-                report(detail::concat("chunk ", c, ": liveBlocks drift (", bits,
-                                      " bits vs ", info.liveBlocks, ")"));
-            used += static_cast<std::size_t>(info.liveBlocks) * info.blockBytes;
+            if (info.leased) {
+                // The owning cache has carved an unknown number of
+                // blocks past the flushed counters; the bitmap can
+                // only lead them.
+                if (bits < info.liveBlocks)
+                    report(detail::concat(
+                        "leased chunk ", c, ": bitmap (", bits,
+                        " bits) behind flushed liveBlocks (",
+                        info.liveBlocks, ")"));
+                used += static_cast<std::size_t>(bits) * info.blockBytes;
+            } else {
+                if (bits != info.liveBlocks)
+                    report(detail::concat("chunk ", c, ": liveBlocks drift (",
+                                          bits, " bits vs ", info.liveBlocks,
+                                          ")"));
+                used +=
+                    static_cast<std::size_t>(info.liveBlocks) * info.blockBytes;
+            }
             break;
           }
         }
     }
-    if (free_seen != free_chunks_)
+    if (free_seen != free_chunks_.load(std::memory_order_relaxed))
         report(detail::concat("free chunk count drift: walked ", free_seen,
-                              ", recorded ", free_chunks_));
-    if (used != used_bytes_)
+                              ", recorded ",
+                              free_chunks_.load(std::memory_order_relaxed)));
+    const std::size_t recorded = used_bytes_.load(std::memory_order_relaxed);
+    if (leases) {
+        // Walked bitmaps include carves not yet folded into the
+        // counter; the counter can lag but never lead.
+        if (used < recorded)
+            report(detail::concat(
+                "used-bytes accounting drift under leases: walked ", used,
+                " < recorded ", recorded));
+    } else if (used != recorded) {
         report(detail::concat("used-bytes accounting drift: walked ", used,
-                              ", recorded ", used_bytes_));
+                              ", recorded ", recorded));
+    }
 }
 
 } // namespace lp

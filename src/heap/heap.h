@@ -26,24 +26,35 @@
  * then became unallocatable at 43% occupancy because freed 2KB
  * payloads interleaved with live 40-byte entries. See DESIGN.md.)
  *
- * Not internally synchronized: the VM serializes allocation with a
- * lock and sweeps run stop-the-world.
+ * Synchronization (MMTk-style, see DESIGN.md "Allocation fast path &
+ * parallel sweep"): the central operations — chunk lease/retire, the
+ * locked allocate() path, LOS allocation — are serialized by a short
+ * internal mutex. The common small-object allocation does not come
+ * here at all: whole chunks are leased to per-thread caches
+ * (ThreadAllocCache) which carve blocks with no synchronization.
+ * Whole-heap operations (sweep, forEachObject*, verifyIntegrity) run
+ * with the world stopped and every lease retired; sweep may
+ * additionally partition the chunk list across a WorkerPool.
  */
 
 #ifndef LP_HEAP_HEAP_H
 #define LP_HEAP_HEAP_H
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "object/object.h"
 #include "util/bits.h"
+#include "util/function_ref.h"
 
 namespace lp {
+
+class WorkerPool;
 
 /** Allocation and occupancy statistics for one heap. */
 struct HeapStats {
@@ -53,6 +64,30 @@ struct HeapStats {
     std::uint64_t sweeps = 0;           //!< sweep passes performed
     std::uint64_t objectsFreed = 0;     //!< objects reclaimed by sweeps
     std::uint64_t bytesFreed = 0;       //!< bytes reclaimed by sweeps
+};
+
+/**
+ * One chunk on loan to a thread-local allocation cache. The lease
+ * carries everything the cache needs to carve blocks without touching
+ * the heap: the data base, the in-use bitmap of the (exclusively
+ * owned) chunk, and private copies of the bump/free-list cursors that
+ * are written back at retire time. `allocated` counts blocks carved
+ * since the lease was taken; the heap folds it into liveBlocks and
+ * usedBytes() when the lease is retired.
+ */
+struct ChunkLease {
+    static constexpr std::size_t kNoChunk = static_cast<std::size_t>(-1);
+
+    std::size_t chunkIndex = kNoChunk;
+    unsigned char *base = nullptr;
+    std::uint64_t *inUse = nullptr;   //!< leased chunk's bitmap words
+    std::uint32_t blockBytes = 0;
+    std::uint32_t numBlocks = 0;
+    std::uint32_t bump = 0;           //!< private cursor, written back
+    std::int32_t freeHead = -1;       //!< private cursor, written back
+    std::uint32_t allocated = 0;      //!< blocks carved under this lease
+
+    bool valid() const { return chunkIndex != kNoChunk; }
 };
 
 class Heap
@@ -80,58 +115,150 @@ class Heap
 
     /**
      * Allocate a block able to hold @p bytes of object (header
-     * included). Returns the object address, or nullptr when no block
-     * or chunk run fits — the caller's cue to collect.
+     * included) through the central, internally locked path. Returns
+     * the object address, or nullptr when no block or chunk run fits —
+     * the caller's cue to collect. The scalable path for small objects
+     * is ThreadAllocCache; this entry serves LOS requests, cache
+     * refills that race with it, and direct single-threaded users
+     * (tests).
      */
     void *allocate(std::size_t bytes);
 
+    // --- thread-local allocation protocol --------------------------------
+
+    /** Number of small-object size classes (cache table dimension). */
+    std::size_t numSizeClasses() const { return class_sizes_.size(); }
+
+    /** Index of the smallest size class that fits @p bytes. */
+    std::size_t sizeClassFor(std::size_t bytes) const;
+
+    /** Block size of size class @p cls. */
+    std::uint32_t
+    sizeClassBytes(std::size_t cls) const
+    {
+        return class_sizes_[cls];
+    }
+
+    /**
+     * Lease one chunk of @p size_class to a thread-local cache: a
+     * short critical section that pops a partial chunk (or commissions
+     * a free one) and hands the whole thing to the caller. Until the
+     * lease is retired the chunk belongs exclusively to that cache —
+     * the heap will not allocate from it, and its liveBlocks /
+     * usedBytes() contribution is deferred to retire time.
+     *
+     * @return false when no chunk is available (the caller's cue to
+     *         collect); the lease is left invalid.
+     */
+    bool leaseChunk(std::size_t size_class, ChunkLease &lease);
+
+    /**
+     * Return a leased chunk: write back the bump/free-list cursors,
+     * fold the carved blocks into liveBlocks and usedBytes(), and make
+     * the chunk allocatable again (partial list or free pool). Safe to
+     * call with an invalid lease (no-op). Resets @p lease.
+     */
+    void retireChunk(ChunkLease &lease);
+
+    /** Fold cache-side allocation tallies into stats() (short lock). */
+    void noteCacheAllocations(std::uint64_t count, std::uint64_t bytes);
+
+    /**
+     * Chunks currently on lease to thread caches. Exact only while the
+     * world is stopped (the verifier checks it is then zero).
+     */
+    std::size_t leasedChunkCount() const;
+
+    // --- collection support -----------------------------------------------
+
+    /**
+     * Thread-safe per-dead-object predicate, run on sweep workers:
+     * return true to have the object delivered — header and payload
+     * still intact — to the serial visitor before its block is
+     * recycled, false to recycle immediately. Must not touch shared
+     * mutable state (it may run concurrently on several workers).
+     */
+    using DeadFilter = FunctionRef<bool(Object *)>;
+
+    /** Serial visitor over the dead objects the filter kept. */
+    using DeadVisitor = FunctionRef<void(Object *)>;
+
     /**
      * Free unmarked objects, clear surviving objects' mark bits,
-     * return fully-empty chunks to the free pool. @p on_dead runs on
-     * each reclaimed object before its memory is recycled (the
-     * collector runs finalizers there).
+     * return fully-empty chunks to the free pool. Must run with the
+     * world stopped and every chunk lease retired.
+     *
+     * When @p pool is non-null the chunk list and LOS index are
+     * partitioned across its workers; per-worker tallies (live bytes,
+     * objectsFreed, bytesFreed) are merged at the barrier so the
+     * returned live occupancy and stats() stay exact. Dead objects for
+     * which @p defer_dead returns true are funneled to a single
+     * serial @p on_dead pass on the calling thread after the barrier
+     * (the collector runs finalizers there); all other dead blocks are
+     * recycled directly on the workers.
      *
      * @return bytes occupied by surviving blocks (live occupancy).
      */
-    std::size_t sweep(const std::function<void(Object *)> &on_dead);
+    std::size_t sweep(WorkerPool *pool, DeadFilter defer_dead,
+                      DeadVisitor on_dead);
 
-    /** Visit every live (allocated) object. */
-    void forEachObject(const std::function<void(Object *)> &fn) const;
+    /**
+     * Serial sweep convenience: @p on_dead runs on every reclaimed
+     * object before its memory is recycled (the historical contract;
+     * tests and single-threaded users).
+     */
+    std::size_t sweep(DeadVisitor on_dead);
+
+    /** Visit every live (allocated) object. World-stopped/quiescent. */
+    void forEachObject(FunctionRef<void(Object *)> fn) const;
 
     /**
      * Visit every live object together with the bytes the allocator
      * charges for it (its block size in a small-object chunk, its
-     * page-rounded size in the LOS). The charges of all live objects
-     * sum to usedBytes() — the invariant the heap verifier checks.
+     * page-rounded size in the LOS). With every lease retired, the
+     * charges of all live objects sum to usedBytes() — the invariant
+     * the heap verifier checks.
      */
     void forEachObjectWithCharge(
-        const std::function<void(Object *, std::size_t)> &fn) const;
+        FunctionRef<void(Object *, std::size_t)> fn) const;
 
     /** Usable arena capacity in bytes. */
     std::size_t capacity() const { return num_chunks_ * kChunkBytes; }
 
-    /** Bytes currently occupied by allocated blocks. */
-    std::size_t usedBytes() const { return used_bytes_; }
+    /**
+     * Bytes currently occupied by allocated blocks. Exact at
+     * stop-the-world points (leases retired); while mutators run it
+     * lags by the blocks carved from live leases since their last
+     * flush — at most one chunk per thread per size class.
+     */
+    std::size_t
+    usedBytes() const
+    {
+        return used_bytes_.load(std::memory_order_relaxed);
+    }
 
     /**
      * Bytes in chunks committed to a size class or large run. This is
      * the allocator's view of consumption (a committed chunk cannot
      * serve other classes), and what heap-fullness decisions use.
+     * Leased chunks are committed, so this never lags.
      */
     std::size_t
     committedBytes() const
     {
-        return (num_chunks_ - free_chunks_) * kChunkBytes + large_bytes_;
+        return (num_chunks_ - free_chunks_.load(std::memory_order_relaxed)) *
+                   kChunkBytes +
+               large_bytes_.load(std::memory_order_relaxed);
     }
 
     /** Bytes not occupied by allocated blocks. */
-    std::size_t freeBytes() const { return capacity() - used_bytes_; }
+    std::size_t freeBytes() const { return capacity() - usedBytes(); }
 
     /** Occupied fraction of the arena in [0, 1]. */
     double
     fullness() const
     {
-        return static_cast<double>(used_bytes_) /
+        return static_cast<double>(usedBytes()) /
                static_cast<double>(capacity());
     }
 
@@ -152,10 +279,12 @@ class Heap
     /**
      * Check chunk metadata and byte accounting, reporting each
      * inconsistency through @p report instead of panicking (the heap
-     * verifier's log-only mode needs the non-fatal form).
+     * verifier's log-only mode needs the non-fatal form). With leases
+     * outstanding the byte checks degrade to inequalities (the walked
+     * bitmaps lead the flushed counters by the unretired carves).
      */
     void
-    checkIntegrity(const std::function<void(const std::string &)> &report) const;
+    checkIntegrity(FunctionRef<void(const std::string &)> report) const;
 
     /**
      * Corrupt the used-bytes counter by @p delta (fault-injection
@@ -164,8 +293,12 @@ class Heap
     void
     adjustUsedBytesForTesting(std::ptrdiff_t delta)
     {
-        used_bytes_ = static_cast<std::size_t>(
-            static_cast<std::ptrdiff_t>(used_bytes_) + delta);
+        used_bytes_.store(
+            static_cast<std::size_t>(
+                static_cast<std::ptrdiff_t>(
+                    used_bytes_.load(std::memory_order_relaxed)) +
+                delta),
+            std::memory_order_relaxed);
     }
 
   private:
@@ -184,35 +317,48 @@ class Heap
         std::uint16_t sizeClass = 0;   //!< Small: index into class table
         std::uint32_t blockBytes = 0;  //!< Small: block size
         std::uint32_t numBlocks = 0;   //!< Small: blocks per chunk
-        std::uint32_t liveBlocks = 0;  //!< Small: blocks in use
+        std::uint32_t liveBlocks = 0;  //!< Small: blocks in use (flushed)
         std::uint32_t bump = 0;        //!< Small: blocks ever carved
         std::int32_t freeHead = -1;    //!< Small: chunk-local free list
         bool inPartialList = false;
+        bool leased = false;           //!< on loan to a thread cache
         std::vector<std::uint64_t> inUse; //!< Small: per-block bitmap
     };
+
+    /** Per-worker tallies from one parallel-sweep partition. */
+    struct SweepPartition;
 
     static std::vector<std::uint32_t> buildSizeClasses();
 
     std::size_t classFor(std::size_t bytes) const;
     unsigned char *chunkBase(std::size_t chunk) const;
-    void *allocateSmall(std::size_t bytes);
-    void *allocateLarge(std::size_t bytes);
-    std::size_t takeFreeChunk();            //!< returns index or npos
+    void *allocateSmallLocked(std::size_t bytes);
+    void *allocateLargeLocked(std::size_t bytes);
+    std::size_t takeFreeChunkLocked();      //!< returns index or npos
+    void commissionChunkLocked(std::size_t chunk, std::size_t cls);
     void makeChunkFree(std::size_t chunk);
+    void sweepPartition(std::size_t worker, std::size_t num_workers,
+                        DeadFilter defer_dead, SweepPartition &part);
 
     static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
     std::size_t num_chunks_;
     std::unique_ptr<unsigned char[]> storage_;
     word_t arena_base_;
-    std::size_t used_bytes_ = 0;
-    std::size_t free_chunks_ = 0;
+    //! Relaxed atomics: mutated inside the central critical section or
+    //! at stop-the-world points, read lock-free by reporting paths.
+    std::atomic<std::size_t> used_bytes_{0};
+    std::atomic<std::size_t> free_chunks_{0};
     std::vector<std::uint32_t> class_sizes_;      //!< block size per class
     std::vector<std::vector<std::uint32_t>> partial_; //!< per class
     std::vector<ChunkInfo> chunks_;
     std::vector<LargeAlloc> large_objects_;       //!< the LOS
-    std::size_t large_bytes_ = 0;                 //!< LOS occupancy
+    std::atomic<std::size_t> large_bytes_{0};     //!< LOS occupancy
+    std::size_t leased_chunks_ = 0;               //!< guarded by mutex_
     HeapStats stats_;
+    //! Serializes the central paths (lease/retire, locked allocate,
+    //! LOS) against each other. Never held across a safepoint.
+    mutable std::mutex mutex_;
 };
 
 } // namespace lp

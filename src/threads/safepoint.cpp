@@ -33,11 +33,23 @@ void
 ThreadRegistry::registerMutator()
 {
     std::unique_lock<std::mutex> lock(mutex_);
+    auto it = threads_.find(selfId());
+    if (it != threads_.end()) {
+        // Re-entrant registration (e.g. an explicit MutatorScope on the
+        // thread that constructed the Runtime). The thread is already a
+        // visible mutator, so it must NOT wait out a pending pause here:
+        // the pausing collector is waiting for *this* entry to reach a
+        // safepoint, and waiting for !stop_requested_ would deadlock.
+        // Just bump the depth and keep running to the next poll.
+        ++it->second->depth;
+        tls_registry_id = registry_id_;
+        tls_state = it->second.get();
+        return;
+    }
     // A newly arriving mutator must not start running mid-pause.
     cv_.wait(lock, [&] { return !stop_requested_.load(std::memory_order_relaxed); });
     auto &entry = threads_[selfId()];
-    if (!entry)
-        entry = std::make_unique<ThreadState>();
+    entry = std::make_unique<ThreadState>();
     entry->state = State::Running;
     entry->lastAllocation = 0;
     tls_registry_id = registry_id_;
@@ -48,7 +60,12 @@ void
 ThreadRegistry::unregisterMutator()
 {
     std::unique_lock<std::mutex> lock(mutex_);
-    threads_.erase(selfId());
+    auto it = threads_.find(selfId());
+    if (it == threads_.end())
+        return;
+    if (--it->second->depth > 0)
+        return; // an outer registration is still live
+    threads_.erase(it);
     if (tls_registry_id == registry_id_) {
         tls_registry_id = 0;
         tls_state = nullptr;
@@ -146,6 +163,12 @@ ThreadRegistry::resumeTheWorld()
     world_stopped_.store(false, std::memory_order_release);
     stop_requested_.store(false, std::memory_order_release);
     cv_.notify_all();
+}
+
+bool
+ThreadRegistry::currentThreadRegistered()
+{
+    return myState() != nullptr;
 }
 
 std::size_t

@@ -44,7 +44,15 @@ class ThreadRegistry
     ThreadRegistry(const ThreadRegistry &) = delete;
     ThreadRegistry &operator=(const ThreadRegistry &) = delete;
 
-    /** Register the calling thread as a mutator. */
+    /**
+     * Register the calling thread as a mutator. Re-entrant: a thread
+     * that is already registered (e.g. the Runtime-constructing thread
+     * opening an explicit MutatorScope) just deepens its registration
+     * and keeps running — it must not wait out a pending pause, since
+     * the pausing collector is waiting for this very thread to reach a
+     * safepoint. Each registration must be matched by one
+     * unregisterMutator(); the entry is removed at depth zero.
+     */
     void registerMutator();
 
     /** Unregister the calling thread (must not hold the world). */
@@ -85,6 +93,15 @@ class ThreadRegistry
     std::size_t mutatorCount() const;
 
     /**
+     * True iff the calling thread is a registered mutator of this
+     * registry. Allocation asserts this in debug builds: with
+     * thread-local allocation caches, an unregistered allocator would
+     * not be halted by stop-the-world pauses and could mutate the heap
+     * under a running collection.
+     */
+    bool currentThreadRegistered();
+
+    /**
      * Record the calling mutator's most recent allocation. A fresh
      * object is invisible to the collector until the caller stores it
      * into a handle or a field; if another thread triggers a
@@ -104,6 +121,8 @@ class ThreadRegistry
     struct ThreadState {
         State state = State::Running;
         ref_t lastAllocation = 0;
+        //! Registration depth: registerMutator() nests (see above).
+        int depth = 1;
     };
 
     void park();

@@ -23,7 +23,7 @@ WorkerPool::~WorkerPool()
 }
 
 void
-WorkerPool::runOnAll(const std::function<void(std::size_t)> &fn)
+WorkerPool::runOnAll(FunctionRef<void(std::size_t)> fn)
 {
     std::size_t my_epoch;
     {
@@ -48,7 +48,7 @@ WorkerPool::workerLoop(std::size_t index)
 {
     std::size_t seen_epoch = 0;
     while (true) {
-        const std::function<void(std::size_t)> *job;
+        const FunctionRef<void(std::size_t)> *job;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             start_cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });

@@ -13,10 +13,11 @@
 
 #include <condition_variable>
 #include <cstddef>
-#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/function_ref.h"
 
 namespace lp {
 
@@ -44,8 +45,12 @@ class WorkerPool
     /** Total parallelism (pool threads + caller). */
     std::size_t parallelism() const { return pool_threads_.size() + 1; }
 
-    /** Run @p fn on all workers and the caller; blocks until done. */
-    void runOnAll(const std::function<void(std::size_t)> &fn);
+    /**
+     * Run @p fn on all workers and the caller; blocks until done.
+     * Non-allocating: the callable is borrowed for the duration of the
+     * call (FunctionRef), never copied onto the heap.
+     */
+    void runOnAll(FunctionRef<void(std::size_t)> fn);
 
   private:
     void workerLoop(std::size_t index);
@@ -53,7 +58,7 @@ class WorkerPool
     std::mutex mutex_;
     std::condition_variable start_cv_;
     std::condition_variable done_cv_;
-    const std::function<void(std::size_t)> *job_ = nullptr;
+    const FunctionRef<void(std::size_t)> *job_ = nullptr;
     std::size_t epoch_ = 0;
     std::size_t running_ = 0;
     bool shutdown_ = false;

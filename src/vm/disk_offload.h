@@ -93,6 +93,15 @@ class DiskOffload : public CollectionPlugin
     void endCollection(const CollectionOutcome &outcome) override;
     bool shouldKeepCollecting(unsigned rounds_so_far) const override;
 
+    /**
+     * Offload mispredictions are recoverable (the object faults back
+     * in from disk), so the clock may age recently-reset objects
+     * through OOM retry collections — required for progress when the
+     * program re-reads the whole heap (resetting every counter) just
+     * before exhaustion.
+     */
+    bool agesUnderExhaustion() const override { return true; }
+
     // --- read-barrier interface ---------------------------------------------
 
     /**

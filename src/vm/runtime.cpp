@@ -69,6 +69,14 @@ Runtime::Runtime(const RuntimeConfig &config)
         if (verifier_->due(outcome.epoch))
             verifier_->verify(outcome.epoch);
     });
+    // As soon as the world stops (mutators parked/blocked), fold every
+    // thread's allocation cache back into the heap: the sweep needs
+    // all leases retired and the verifier's charge-sum invariant needs
+    // exact counters. Drained trigger bytes keep feeding the staleness
+    // clock so allocation done purely on the fast path still ages it.
+    collector_->setWorldStoppedHook([this] {
+        bytes_since_clock_tick_ += alloc_caches_.retireAll();
+    });
 
     threads_.registerMutator(); // the constructing thread is a mutator
 }
@@ -101,13 +109,16 @@ Runtime::verifyHeap()
     // stops the world) from interleaving with the verification pause.
     AllocLock lock(alloc_mutex_, threads_);
     threads_.stopTheWorld();
+    // Same flush the collector does: the charge-sum invariant is only
+    // exact with every thread's chunk leases retired.
+    bytes_since_clock_tick_ += alloc_caches_.retireAll();
     VerifierReport report = verifier_->verify(collector_->epoch());
     threads_.resumeTheWorld();
     return report;
 }
 
 void
-Runtime::collectLocked()
+Runtime::collectLocked(bool exhausted)
 {
     // The staleness clock approximates *program* time between uses of
     // an object, measured in full-heap collections. In the paper's
@@ -116,13 +127,28 @@ Runtime::collectLocked()
     // within one allocation call (budget trigger plus out-of-memory
     // retries), which would age every briefly-idle live structure
     // straight past the candidate threshold. So the clock ticks only
-    // when the program has allocated a quantum since the last tick.
-    const bool tick = bytes_since_clock_tick_ >= kClockQuantumBytes;
+    // when the program has allocated a quantum since the last tick —
+    // EXCEPT at memory exhaustion, for schemes that opt in. A
+    // collection run because an allocation failed can only make
+    // progress if idle objects keep aging toward the tolerance
+    // scheme's threshold; gating those ticks on allocation progress
+    // deadlocks (no allocation succeeds until something is reclaimed,
+    // nothing is reclaimed until the clock advances). Whether forced
+    // aging is safe depends on the scheme — see
+    // GcPlugin::agesUnderExhaustion.
+    const std::size_t pre_pause_clock_bytes = bytes_since_clock_tick_;
+    const bool tick = exhausted || pre_pause_clock_bytes >= kClockQuantumBytes;
     if (tolerance_plugin_)
         tolerance_plugin_->pauseStalenessClock(!tick);
     collector_->collect();
-    if (tick)
-        bytes_since_clock_tick_ = 0;
+    if (tick) {
+        // Consume only what was on the clock when the tick was decided:
+        // the world-stopped hook folds other threads' cache-local
+        // allocation bytes in *during* the pause, and zeroing those too
+        // would silently slow the clock (objects would stop aging and
+        // the tolerance schemes would stall before memory runs out).
+        bytes_since_clock_tick_ -= pre_pause_clock_bytes;
+    }
     bytes_since_gc_ = 0;
     if (tolerance_plugin_)
         tolerance_plugin_->pauseStalenessClock(false);
@@ -143,33 +169,59 @@ Runtime::collectLocked()
     }
 }
 
-void *
-Runtime::allocateWithGc(std::size_t bytes)
+void
+Runtime::noteAllocated(std::size_t bytes, ThreadAllocCache *cache)
 {
-    // Periodic trigger: collect once the allocation budget since the
-    // last collection is spent, the way a VM collects "each time the
-    // program fills the heap" rather than only at hard exhaustion.
+    // Caller holds the allocation lock. Cache allocations accumulate
+    // trigger bytes locally (including the carve that just succeeded);
+    // draining here folds them into the budget and staleness clock.
+    // Lock-path allocations account their request directly.
+    const std::uint64_t d = cache ? cache->takeTriggerBytes() : bytes;
+    bytes_since_gc_ += d;
+    bytes_since_clock_tick_ += d;
+}
+
+void *
+Runtime::allocateSlow(std::size_t bytes, ThreadAllocCache *cache)
+{
+    AllocLock lock(alloc_mutex_, threads_);
+
+    // Fold the fast-path bytes allocated since this thread last came
+    // through here, then apply the periodic trigger: collect once the
+    // allocation budget since the last collection is spent, the way a
+    // VM collects "each time the program fills the heap" rather than
+    // only at hard exhaustion. With thread-local caches the trigger is
+    // tested at refill granularity (at most one chunk per size class
+    // between tests), which keeps it well under the >= 64KB budget.
+    if (cache) {
+        const std::uint64_t drained = cache->takeTriggerBytes();
+        bytes_since_gc_ += drained;
+        bytes_since_clock_tick_ += drained;
+    }
     if (gc_budget_bytes_ && bytes_since_gc_ >= gc_budget_bytes_)
         collectLocked();
 
-    void *mem = heap_.allocate(bytes);
+    const auto try_alloc = [&]() -> void * {
+        return cache ? cache->allocateRefill(bytes) : heap_.allocate(bytes);
+    };
+
+    void *mem = try_alloc();
     if (mem) [[likely]] {
-        bytes_since_gc_ += bytes;
-        bytes_since_clock_tick_ += bytes;
+        noteAllocated(bytes, cache);
         return mem;
     }
 
-    // Slow path: collect until the request fits. The pruning engine
-    // reports whether another collection can still help (a selection
-    // pending, a prune that just made progress); without pruning a
-    // single collection is all the help there is.
+    // Collect until the request fits. The pruning engine reports
+    // whether another collection can still help (a selection pending,
+    // a prune that just made progress); without pruning a single
+    // collection is all the help there is.
     for (unsigned round = 0; round < config_.maxGcRoundsPerAllocation;
          ++round) {
-        collectLocked();
-        mem = heap_.allocate(bytes);
+        collectLocked(/*exhausted=*/tolerance_plugin_ &&
+                      tolerance_plugin_->agesUnderExhaustion());
+        mem = try_alloc();
         if (mem) {
-            bytes_since_gc_ += bytes;
-            bytes_since_clock_tick_ += bytes;
+            noteAllocated(bytes, cache);
             return mem;
         }
         if (!tolerance_plugin_)
@@ -189,8 +241,24 @@ Object *
 Runtime::allocateRaw(class_id_t cls, std::size_t bytes)
 {
     threads_.pollSafepoint();
-    AllocLock lock(alloc_mutex_, threads_);
-    void *mem = allocateWithGc(bytes);
+    // With the global lock gone from the fast path, an unregistered
+    // thread would not be halted by stop-the-world and could carve
+    // blocks under a running collection.
+    LP_ASSERT(threads_.currentThreadRegistered(),
+              "allocation from a thread not registered as a mutator");
+
+    // Fast path: carve from this thread's chunk lease — no lock, no
+    // atomics. Falls through on a missing/exhausted lease, a large
+    // request, or when thread-local allocation is configured off.
+    ThreadAllocCache *cache = nullptr;
+    void *mem = nullptr;
+    if (config_.threadLocalAllocation && bytes <= Heap::kLargeThreshold) {
+        cache = alloc_caches_.mine();
+        mem = cache->allocateFast(bytes);
+    }
+    if (!mem) [[unlikely]]
+        mem = allocateSlow(bytes, cache);
+
     Object *obj = Object::format(mem, cls, bytes);
     // Root the fresh object until the caller publishes it: another
     // thread may trigger a collection before that happens, and an

@@ -14,11 +14,15 @@
  * the stale-check bit, zeroes the target's stale counter, and updates
  * the edge table's maxStaleUse.
  *
- * Allocation is the collection trigger: when the free-list cannot
- * serve a request, the allocating thread stops the world and collects;
- * if space is still short, it keeps collecting while the pruning
- * engine reports progress (SELECT choosing a victim, PRUNE poisoning
- * references) and finally throws OutOfMemoryError.
+ * Small allocations take a lock-free fast path: each mutator carves
+ * blocks from per-thread chunk leases (ThreadAllocCache), falling into
+ * the locked slow path only to refill a chunk, allocate large, or
+ * collect. Allocation remains the collection trigger: when the heap
+ * cannot serve a request (or the allocation budget since the last
+ * collection is spent), the allocating thread stops the world and
+ * collects; if space is still short, it keeps collecting while the
+ * pruning engine reports progress (SELECT choosing a victim, PRUNE
+ * poisoning references) and finally throws OutOfMemoryError.
  */
 
 #ifndef LP_VM_RUNTIME_H
@@ -36,6 +40,7 @@
 #include "gc/collector.h"
 #include "vm/disk_offload.h"
 #include "heap/heap.h"
+#include "heap/thread_cache.h"
 #include "object/class_info.h"
 #include "object/object.h"
 #include "threads/safepoint.h"
@@ -72,6 +77,13 @@ enum class ToleranceMode {
 struct RuntimeConfig {
     std::size_t heapBytes = 64u << 20;  //!< hard heap bound
     std::size_t gcThreads = 2;          //!< collector parallelism
+    /**
+     * Allocate small objects through per-thread chunk caches (the
+     * lock-free fast path). Off = every allocation takes the global
+     * allocation lock; kept as the measurable baseline for the
+     * allocation-scaling benchmark and as a diagnostic fallback.
+     */
+    bool threadLocalAllocation = true;
     BarrierMode barrierMode = BarrierMode::AllTheTime;
     /** Master switch; false forces ToleranceMode::None. */
     bool enableLeakPruning = true;
@@ -103,9 +115,9 @@ struct RuntimeConfig {
 
 /**
  * Read-barrier counters (validates the fast/cold split is working).
- * Bumped with non-atomic read-modify-writes through atomic cells:
- * cheap on the fast path, may undercount slightly under contention —
- * acceptable for diagnostics.
+ * Bumped with relaxed atomic increments: no fence on the fast path,
+ * and — unlike the racy load-then-store these started as — every
+ * bump lands, so concurrent readers never under-count.
  */
 struct BarrierStats {
     std::atomic<std::uint64_t> reads{0};        //!< reference loads executed
@@ -113,12 +125,11 @@ struct BarrierStats {
     std::atomic<std::uint64_t> staleResets{0};  //!< stale counters zeroed
     std::atomic<std::uint64_t> poisonThrows{0}; //!< InternalErrors thrown
 
-    /** Cheap, racy bump (no locked instruction on the fast path). */
+    /** Exact, fence-free bump. */
     static void
     bump(std::atomic<std::uint64_t> &c)
     {
-        c.store(c.load(std::memory_order_relaxed) + 1,
-                std::memory_order_relaxed);
+        c.fetch_add(1, std::memory_order_relaxed);
     }
 };
 
@@ -310,8 +321,14 @@ class Runtime : public RootProvider
     static constexpr std::size_t kClockQuantumBytes = 64 * 1024;
 
     Object *allocateRaw(class_id_t cls, std::size_t bytes);
-    void *allocateWithGc(std::size_t bytes);
-    void collectLocked();
+    void *allocateSlow(std::size_t bytes, ThreadAllocCache *cache);
+    void noteAllocated(std::size_t bytes, ThreadAllocCache *cache);
+    /**
+     * Run one collection under the allocation lock. @p exhausted marks
+     * a collection run because an allocation failed outright; those
+     * always tick the staleness clock (see the definition).
+     */
+    void collectLocked(bool exhausted = false);
 
     [[noreturn]] Object *readBarrierPoisoned();
     Object *readBarrierColdPath(Object *src, const ClassInfo &src_cls,
@@ -320,6 +337,9 @@ class Runtime : public RootProvider
     RuntimeConfig config_;
     ClassRegistry registry_;
     Heap heap_;
+    //! Thread-local allocation caches; declared after heap_ so leases
+    //! are retired (cache destructors) before the heap dies.
+    AllocCacheSet alloc_caches_{heap_};
     std::size_t gc_budget_bytes_ = 0;     //!< allocation between collections
     std::size_t bytes_since_gc_ = 0;      //!< guarded by alloc_mutex_
     //! Allocation since the staleness clock last ticked. Starts at the

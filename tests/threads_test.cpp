@@ -102,6 +102,57 @@ TEST(SafepointTest, BlockedThreadsDoNotDelayStop)
     reg.unregisterMutator();
 }
 
+TEST(SafepointTest, ReentrantRegistrationNests)
+{
+    ThreadRegistry reg;
+    reg.registerMutator();
+    EXPECT_EQ(reg.mutatorCount(), 1u);
+    {
+        // An inner MutatorScope on an already-registered thread deepens
+        // the registration; its destructor must not strip the outer one.
+        MutatorScope inner(reg);
+        EXPECT_EQ(reg.mutatorCount(), 1u);
+    }
+    EXPECT_EQ(reg.mutatorCount(), 1u);
+    EXPECT_TRUE(reg.currentThreadRegistered());
+    reg.unregisterMutator();
+    EXPECT_EQ(reg.mutatorCount(), 0u);
+}
+
+TEST(SafepointTest, ReentrantRegistrationDuringPendingPause)
+{
+    // Regression test: a thread registered at Runtime construction that
+    // opens an explicit MutatorScope while another thread is initiating
+    // a stop-the-world pause. registerMutator() must not wait for the
+    // pause to end (the pause is waiting for THIS thread to reach a
+    // safepoint), or both sides deadlock.
+    ThreadRegistry reg;
+    reg.registerMutator(); // outer registration (the "Runtime ctor")
+
+    std::atomic<bool> stopping{false};
+    std::atomic<bool> resumed{false};
+    std::thread collector([&] {
+        stopping.store(true);
+        reg.stopTheWorld(); // waits for the main thread to park
+        reg.resumeTheWorld();
+        resumed.store(true);
+    });
+
+    while (!stopping.load())
+        std::this_thread::yield();
+    {
+        // Racing the collector's stop request on purpose: whichever
+        // side wins, re-registration must complete without parking...
+        MutatorScope inner(reg);
+        // ...and polling is the safepoint that lets the pause finish.
+        while (!resumed.load())
+            reg.pollSafepoint();
+        collector.join();
+    }
+    reg.unregisterMutator();
+    EXPECT_EQ(reg.mutatorCount(), 0u);
+}
+
 TEST(SafepointTest, RepeatedStopResumeCycles)
 {
     ThreadRegistry reg;
