@@ -1,0 +1,124 @@
+/**
+ * @file
+ * GC pause-time distribution benchmark.
+ *
+ * Runs a set of workloads through the harness driver and reports the
+ * stop-the-world pause distribution for each: exact p50/p95/p99/max
+ * from the collector's capped sample list, the always-on log2 pause
+ * histogram, and the safepoint-request latency (how long the collector
+ * waited for mutators to park). Each workload runs with a couple of
+ * extra churn mutators so safepoint waits reflect a multi-threaded
+ * process rather than a single parked thread.
+ *
+ * Results print as a table and are recorded machine-readably in
+ * BENCH_gc_pause.json (current directory). The JSON schema is
+ * identical whether telemetry is compiled in or out: everything here
+ * comes from GcStats, which is populated unconditionally. --smoke
+ * shrinks the wall-clock caps for CI.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/leak_workload.h"
+#include "harness/driver.h"
+#include "harness/report.h"
+
+using namespace lp;
+
+namespace {
+
+struct Params {
+    double seconds = 8.0;
+    std::size_t extraMutators = 2;
+    std::vector<std::string> workloads{"ListLeak", "SwapLeak", "EclipseDiff",
+                                       "Delaunay"};
+};
+
+struct PauseRow {
+    std::string workload;
+    RunResult result;
+};
+
+std::string
+fmtMs(std::uint64_t nanos)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f", static_cast<double>(nanos) * 1e-6);
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Params params;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            params.seconds = 1.0;
+            params.extraMutators = 1;
+            params.workloads = {"ListLeak"};
+        }
+    }
+
+    registerAllWorkloads();
+    printBanner(std::cout, "micro_gc_pause",
+                "stop-the-world pause and safepoint-wait distributions "
+                "per workload");
+
+    std::vector<PauseRow> rows;
+    TextTable table({"workload", "GCs", "p50 ms", "p95 ms", "p99 ms",
+                     "max ms", "safepoint max ms"});
+    for (const std::string &name : params.workloads) {
+        DriverConfig cfg;
+        cfg.maxSeconds = params.seconds;
+        cfg.extraMutators = params.extraMutators;
+        const RunResult r = runWorkloadByName(name, cfg);
+        table.addRow({name, std::to_string(r.gc.collections),
+                      fmtMs(r.pausePercentileNanos(0.5)),
+                      fmtMs(r.pausePercentileNanos(0.95)),
+                      fmtMs(r.pausePercentileNanos(0.99)),
+                      fmtMs(r.gc.maxPauseNanos),
+                      fmtMs(r.gc.maxSafepointWaitNanos)});
+        rows.push_back({name, r});
+    }
+    table.print(std::cout);
+
+    std::ofstream json("BENCH_gc_pause.json");
+    json << "{\n  \"hardware_concurrency\": "
+         << std::thread::hardware_concurrency() << ",\n"
+         << "  \"extra_mutators\": " << params.extraMutators << ",\n"
+         << "  \"seconds\": " << params.seconds << ",\n"
+         << "  \"workloads\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const RunResult &r = rows[i].result;
+        json << "    {\"workload\": \"" << rows[i].workload << "\""
+             << ", \"collections\": " << r.gc.collections
+             << ", \"pause_p50_nanos\": " << r.pausePercentileNanos(0.5)
+             << ", \"pause_p95_nanos\": " << r.pausePercentileNanos(0.95)
+             << ", \"pause_p99_nanos\": " << r.pausePercentileNanos(0.99)
+             << ", \"pause_max_nanos\": " << r.gc.maxPauseNanos
+             << ", \"pause_total_nanos\": " << r.gc.totalPauseNanos
+             << ", \"safepoint_wait_total_nanos\": "
+             << r.gc.totalSafepointWaitNanos
+             << ", \"safepoint_wait_max_nanos\": " << r.gc.maxSafepointWaitNanos
+             << ",\n     \"pause_histogram_log2_nanos\": [";
+        // Trailing zero buckets are trimmed so the array stays short.
+        unsigned last = 0;
+        for (unsigned b = 0; b < LogHistogram::kBuckets; ++b)
+            if (r.gc.pauseHistogram.bucket(b) > 0)
+                last = b;
+        for (unsigned b = 0; b <= last; ++b)
+            json << r.gc.pauseHistogram.bucket(b)
+                 << (b < last ? ", " : "");
+        json << "]}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::cout << "\nwrote BENCH_gc_pause.json\n";
+    return 0;
+}

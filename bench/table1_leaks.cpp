@@ -12,6 +12,7 @@
  * lower bounds for them.
  */
 
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 
@@ -43,6 +44,30 @@ const PaperRow kPaperRows[] = {
     {"Delaunay", "No help", "Short-running"},
 };
 
+/** "p50/p95/max" pause summary in milliseconds. */
+std::string
+pauseSummary(const RunResult &r)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(2)
+        << static_cast<double>(r.pausePercentileNanos(0.5)) * 1e-6 << "/"
+        << static_cast<double>(r.pausePercentileNanos(0.95)) * 1e-6 << "/"
+        << static_cast<double>(r.gc.maxPauseNanos) * 1e-6;
+    return oss.str();
+}
+
+/** Pruning prediction accuracy from the audit trail ("-" if ungraded). */
+std::string
+accuracySummary(const RunResult &r)
+{
+    if (!r.audit.graded)
+        return "-";
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(1) << r.audit.accuracy * 100.0
+        << "%";
+    return oss.str();
+}
+
 } // namespace
 
 int
@@ -53,7 +78,8 @@ main()
                 "ten leaks, baseline vs leak pruning");
 
     TextTable table({"leak", "paper effect", "base iters", "pruned iters",
-                     "measured effect", "pruned end", "refs pruned"});
+                     "measured effect", "pruned end", "refs pruned",
+                     "pause p50/p95/max ms", "accuracy"});
 
     for (const PaperRow &row : kPaperRows) {
         DriverConfig base_cfg;
@@ -72,7 +98,8 @@ main()
                       std::to_string(pruned.iterations),
                       describeEffect(base, pruned),
                       endReasonName(pruned.end),
-                      std::to_string(pruned.pruning.refsPoisoned)});
+                      std::to_string(pruned.pruning.refsPoisoned),
+                      pauseSummary(pruned), accuracySummary(pruned)});
     }
     table.print(std::cout);
 

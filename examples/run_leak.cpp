@@ -19,6 +19,11 @@
  *   --iters N           iteration cap (default 200000)
  *   --seconds S         wall-clock cap (default 20)
  *   --series            print reachable-memory / time-per-iteration series
+ *   --mutators N        extra churn mutator threads (multi-track traces)
+ *   --trace PATH        write a Chrome trace-event JSON (Perfetto /
+ *                       chrome://tracing) of the run
+ *   --metrics PATH      write the metrics registry snapshot as JSON
+ *   --metrics-csv PATH  write the metrics registry snapshot as CSV
  *   --verbose           leak-pruning progress messages
  */
 
@@ -53,7 +58,8 @@ usage()
     std::fprintf(stderr, "usage: run_leak --list | --workload NAME "
                          "[--no-pruning] [--predictor P] [--trigger T] "
                          "[--heap MB] [--iters N] [--seconds S] [--series] "
-                         "[--verbose]\n");
+                         "[--mutators N] [--trace PATH] [--metrics PATH] "
+                         "[--metrics-csv PATH] [--verbose]\n");
     std::exit(2);
 }
 
@@ -107,6 +113,14 @@ main(int argc, char **argv)
         } else if (arg == "--series") {
             series = true;
             config.recordSeries = true;
+        } else if (arg == "--mutators") {
+            config.extraMutators = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--trace") {
+            config.tracePath = next();
+        } else if (arg == "--metrics") {
+            config.metricsJsonPath = next();
+        } else if (arg == "--metrics-csv") {
+            config.metricsCsvPath = next();
         } else if (arg == "--verbose") {
             setLogLevel(LogLevel::Info);
         } else {
@@ -132,6 +146,12 @@ main(int argc, char **argv)
     std::printf("collections: %llu (%.1f ms total pause)\n",
                 static_cast<unsigned long long>(result.gc.collections),
                 static_cast<double>(result.gc.totalPauseNanos) * 1e-6);
+    if (result.gc.collections > 0) {
+        std::printf("gc pause:    p50 %.2f ms, p95 %.2f ms, max %.2f ms\n",
+                    static_cast<double>(result.pausePercentileNanos(0.5)) * 1e-6,
+                    static_cast<double>(result.pausePercentileNanos(0.95)) * 1e-6,
+                    static_cast<double>(result.gc.maxPauseNanos) * 1e-6);
+    }
     std::printf("barrier:     %llu reads, %llu cold-path hits\n",
                 static_cast<unsigned long long>(result.barrier.reads),
                 static_cast<unsigned long long>(result.barrier.coldPathHits));
@@ -155,11 +175,25 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(result.pruning.pruneCollections),
                     static_cast<unsigned long long>(result.edgeTypeCount));
         for (const PruneEvent &ev : result.pruneLog) {
-            std::printf("  prune@GC%llu: %s  x%llu (structure bytes %llu)\n",
+            std::printf("  prune@GC%llu: %s  x%llu (structure bytes %llu, "
+                        "stale level %u)\n",
                         static_cast<unsigned long long>(ev.epoch),
                         ev.typeName.c_str(),
                         static_cast<unsigned long long>(ev.refsPoisoned),
-                        static_cast<unsigned long long>(ev.bytesSelected));
+                        static_cast<unsigned long long>(ev.bytesSelected),
+                        ev.staleLevel);
+        }
+        if (result.audit.graded) {
+            std::printf("accuracy:    %.1f%% (%llu poison accesses after "
+                        "pruning, %llu bytes mispredicted of %llu pruned)\n",
+                        result.audit.accuracy * 100.0,
+                        static_cast<unsigned long long>(
+                            result.audit.poisonHits +
+                            result.audit.unattributedHits),
+                        static_cast<unsigned long long>(
+                            result.audit.bytesMispredicted),
+                        static_cast<unsigned long long>(
+                            result.audit.bytesReclaimed));
         }
     }
     if (series) {

@@ -9,6 +9,7 @@
 #include "heap/heap.h"
 #include "object/class_info.h"
 #include "object/object.h"
+#include "telemetry/audit.h"
 #include "util/logging.h"
 
 namespace lp {
@@ -23,6 +24,7 @@ invariantCheckName(InvariantCheck check)
       case InvariantCheck::Accounting: return "accounting";
       case InvariantCheck::Reachability: return "reachability";
       case InvariantCheck::ObjectShape: return "object-shape";
+      case InvariantCheck::AuditTrail: return "audit-trail";
     }
     return "?";
 }
@@ -282,6 +284,44 @@ HeapVerifier::verify(std::uint64_t epoch)
                     detail::concat("edge entry bytesUsed ", e.bytesUsed,
                                    " not reset outside a SELECT collection"));
         });
+    }
+
+    // --- Phase 5: pruning audit trail --------------------------------------
+    // The telemetry audit trail and the pruning engine count the same
+    // prune decisions through independent code paths (the runtime's
+    // post-collection capture vs. the engine's endCollection); their
+    // totals must agree exactly or evidence has been lost.
+    if (ctx_.audit && ctx_.pruning) {
+        const std::vector<PruneEvent> &log = ctx_.pruning->pruneLog();
+        if (ctx_.audit->recordCount() != log.size())
+            addViolation(report, InvariantCheck::AuditTrail,
+                         detail::concat("audit trail has ",
+                                        ctx_.audit->recordCount(),
+                                        " prune record(s) but the engine "
+                                        "logged ", log.size()));
+        std::uint64_t log_refs = 0;
+        std::uint64_t log_bytes = 0;
+        for (const PruneEvent &ev : log) {
+            log_refs += ev.refsPoisoned;
+            log_bytes += ev.bytesSelected;
+        }
+        if (ctx_.audit->refsPoisonedTotal() != log_refs)
+            addViolation(report, InvariantCheck::AuditTrail,
+                         detail::concat("audit refs poisoned ",
+                                        ctx_.audit->refsPoisonedTotal(),
+                                        " != prune-log total ", log_refs));
+        if (ctx_.audit->bytesReclaimedTotal() != log_bytes)
+            addViolation(report, InvariantCheck::AuditTrail,
+                         detail::concat("audit bytes reclaimed ",
+                                        ctx_.audit->bytesReclaimedTotal(),
+                                        " != prune-log total ", log_bytes));
+        if (ctx_.audit->refsPoisonedTotal() >
+            ctx_.pruning->stats().refsPoisoned)
+            addViolation(report, InvariantCheck::AuditTrail,
+                         detail::concat("audit refs poisoned ",
+                                        ctx_.audit->refsPoisonedTotal(),
+                                        " exceeds the engine's ",
+                                        ctx_.pruning->stats().refsPoisoned));
     }
 
     ++runs_;

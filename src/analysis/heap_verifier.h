@@ -39,6 +39,7 @@ class Heap;
 class ClassRegistry;
 class RootProvider;
 class LeakPruning;
+class PruneAuditTrail;
 struct GcStats;
 
 /** What the verifier does when it finds a violation. */
@@ -55,10 +56,11 @@ enum class InvariantCheck : std::uint8_t {
     Accounting,   //!< committed/used bytes equal the walked live sizes
     Reachability, //!< unpoisoned references target live heap objects
     ObjectShape,  //!< headers: registered class ids, layout-exact sizes
+    AuditTrail,   //!< telemetry audit totals equal the engine's stats
 };
 
 /** Number of InvariantCheck values (for per-check counters). */
-constexpr std::size_t kNumInvariantChecks = 6;
+constexpr std::size_t kNumInvariantChecks = 7;
 
 /** Printable name of one check family. */
 const char *invariantCheckName(InvariantCheck check);
@@ -128,6 +130,12 @@ struct VerifierContext {
     RootProvider *roots = nullptr;        //!< optional: root scanning
     const LeakPruning *pruning = nullptr; //!< optional: edge table, state
     const GcStats *gcStats = nullptr;     //!< optional: poison legality
+    //! Optional: the telemetry audit trail. When both this and
+    //! `pruning` are set, the verifier cross-checks the trail's totals
+    //! (decisions, refs poisoned, bytes) against the engine's own
+    //! statistics — they are maintained independently, so disagreement
+    //! means a prune decision was lost or double-counted.
+    const PruneAuditTrail *audit = nullptr;
     bool offloadActive = false;           //!< disk-offload stubs legal
 };
 

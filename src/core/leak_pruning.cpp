@@ -227,10 +227,13 @@ LeakPruning::endCollection(const CollectionOutcome &outcome)
             if (config_.predictor == Predictor::MostStale) {
                 ev.typeName = "<staleness level " +
                               std::to_string(most_stale_level_) + ">";
+                ev.staleLevel = most_stale_level_;
                 ev.bytesSelected = 0;
             } else if (selected_) {
                 ev.type = selected_->type;
+                ev.hasType = true;
                 ev.typeName = edgeTypeName(selected_->type);
+                ev.staleLevel = selected_->maxStaleUse;
                 ev.bytesSelected = selected_->bytesUsed;
                 const std::uint64_t key =
                     (std::uint64_t{selected_->type.srcClass} << 32) |

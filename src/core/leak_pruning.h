@@ -46,7 +46,9 @@ class Tracer;
 struct PruneEvent {
     std::uint64_t epoch = 0;       //!< collection that pruned
     EdgeType type;                 //!< selected edge type
+    bool hasType = false;          //!< type valid (false for MostStale)
     std::string typeName;          //!< "SrcClass -> TgtClass"
+    unsigned staleLevel = 0;       //!< staleness level that won selection
     std::uint64_t refsPoisoned = 0;
     std::uint64_t bytesSelected = 0; //!< bytesUsed that won selection
 };

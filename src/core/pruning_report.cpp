@@ -4,11 +4,12 @@
 #include <sstream>
 
 #include "core/leak_pruning.h"
+#include "telemetry/audit.h"
 
 namespace lp {
 
 PruningReport
-buildPruningReport(const LeakPruning &engine)
+buildPruningReport(const LeakPruning &engine, const PruneAuditTrail *audit)
 {
     PruningReport report;
     const auto oom = engine.avertedOutOfMemory();
@@ -33,6 +34,23 @@ buildPruningReport(const LeakPruning &engine)
             it->structureBytes += ev.bytesSelected;
         }
     }
+    if (audit) {
+        const PruneAuditSummary summary = audit->summary();
+        report.poisonAccessesPostPrune =
+            summary.poisonHits + summary.unattributedHits;
+        report.bytesMispredicted = summary.bytesMispredicted;
+        report.accuracyGraded = summary.graded;
+        report.predictionAccuracy = summary.accuracy;
+        for (const PruneAuditRecord &rec : audit->records()) {
+            auto it =
+                std::find_if(report.suspects.begin(), report.suspects.end(),
+                             [&](const LeakSuspect &s) {
+                                 return s.typeName == rec.typeName;
+                             });
+            if (it != report.suspects.end())
+                it->poisonAccessHits += rec.poisonHits;
+        }
+    }
     std::sort(report.suspects.begin(), report.suspects.end(),
               [](const LeakSuspect &a, const LeakSuspect &b) {
                   return a.structureBytes > b.structureBytes;
@@ -51,6 +69,11 @@ PruningReport::toString() const
     oss << "pruned " << totalRefsPoisoned << " reference(s) across "
         << pruneCollections << " prune collection(s); " << edgeTypesObserved
         << " edge type(s) observed\n";
+    if (accuracyGraded) {
+        oss << "prediction accuracy " << predictionAccuracy * 100.0 << "% ("
+            << poisonAccessesPostPrune << " poison access(es) after pruning, "
+            << bytesMispredicted << " bytes mispredicted)\n";
+    }
     if (suspects.empty()) {
         oss << "no data structures were pruned\n";
         return oss.str();

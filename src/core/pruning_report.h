@@ -22,6 +22,7 @@
 namespace lp {
 
 class LeakPruning;
+class PruneAuditTrail;
 
 /** One suspicious reference type, aggregated over all prunes. */
 struct LeakSuspect {
@@ -30,6 +31,9 @@ struct LeakSuspect {
     std::uint64_t timesSelected = 0;
     std::uint64_t refsPoisoned = 0;
     std::uint64_t structureBytes = 0; //!< stale bytes charged at selection
+    //! Later accesses of this type's pruned references (InternalErrors
+    //! attributed by the audit trail); 0 = the prediction held.
+    std::uint64_t poisonAccessHits = 0;
 };
 
 /** The full diagnostic picture at one point in time. */
@@ -41,12 +45,25 @@ struct PruningReport {
     std::size_t edgeTypesObserved = 0;
     std::vector<LeakSuspect> suspects; //!< sorted by structureBytes desc
 
+    // Prediction grading, sourced from the telemetry audit trail
+    // (zeros/ungraded when the build has no telemetry).
+    std::uint64_t poisonAccessesPostPrune = 0; //!< attributed + unattributed
+    std::uint64_t bytesMispredicted = 0; //!< bytes of hit decisions
+    bool accuracyGraded = false;         //!< at least one prune happened
+    /** 1 - mispredicted/pruned bytes; 1.0 when nothing was pruned. */
+    double predictionAccuracy = 1.0;
+
     /** Human-readable multi-line rendering. */
     std::string toString() const;
 };
 
-/** Aggregate @p engine's prune log into a ranked report. */
-PruningReport buildPruningReport(const LeakPruning &engine);
+/**
+ * Aggregate @p engine's prune log into a ranked report. With a
+ * non-null @p audit the report also grades the engine's predictions:
+ * per-suspect poison-access hits and the run's overall accuracy.
+ */
+PruningReport buildPruningReport(const LeakPruning &engine,
+                                 const PruneAuditTrail *audit = nullptr);
 
 } // namespace lp
 

@@ -2,6 +2,7 @@
 
 #include "heap/heap.h"
 #include "object/object.h"
+#include "telemetry/telemetry.h"
 #include "threads/safepoint.h"
 #include "threads/worker_pool.h"
 #include "util/logging.h"
@@ -22,6 +23,7 @@ Collector::~Collector() = default;
 CollectionOutcome
 Collector::collect()
 {
+    const std::uint64_t req_start = nowNanos();
     threads_.stopTheWorld();
     const std::uint64_t pause_start = nowNanos();
 
@@ -31,6 +33,13 @@ Collector::collect()
     if (world_stopped_hook_)
         world_stopped_hook_();
 
+#if LP_TELEMETRY_ENABLED
+    // Epoch-based drain: every mutator is parked or blocked, so each
+    // SPSC ring has exactly one consumer (us) and a stable head.
+    if (telemetry_)
+        telemetry_->drainAll();
+#endif
+
     ++epoch_;
     if (plugin_)
         plugin_->beginCollection(epoch_);
@@ -38,6 +47,7 @@ Collector::collect()
     // Phase 1: the in-use transitive closure from the roots.
     const std::uint64_t mark_start = nowNanos();
     const TraceStats trace = tracer_->traceFromRoots(roots_, plugin_);
+    [[maybe_unused]] const std::uint64_t trace_end = nowNanos();
 
     // Phase 2: plugin phase — in SELECT this is the stale closure and
     // edge-type selection; in other states it is a no-op.
@@ -91,12 +101,55 @@ Collector::collect()
     stats_.objectsFinalized += finalized;
     stats_.refsPoisonedTotal += trace.refsPoisoned;
     stats_.lastLiveBytes = live_bytes;
+    stats_.maxPauseNanos = std::max(stats_.maxPauseNanos, stats_.lastPauseNanos);
+    const std::uint64_t safepoint_wait = pause_start - req_start;
+    stats_.totalSafepointWaitNanos += safepoint_wait;
+    stats_.maxSafepointWaitNanos =
+        std::max(stats_.maxSafepointWaitNanos, safepoint_wait);
+    stats_.pauseHistogram.add(stats_.lastPauseNanos);
+    if (stats_.pauseSamplesNanos.size() < GcStats::kMaxPauseSamples)
+        stats_.pauseSamplesNanos.push_back(stats_.lastPauseNanos);
 
     // Post-collection analysis (heap verification) runs inside the
     // existing pause: mark bits are freshly cleared and no mutator can
     // race the walk.
+    [[maybe_unused]] const std::uint64_t verify_start = nowNanos();
     if (post_collection_hook_)
         post_collection_hook_(outcome);
+
+#if LP_TELEMETRY_ENABLED
+    if (telemetry_) {
+        // All GC phases go on the synthetic GC track; the events land
+        // in the collecting thread's ring and reach the central buffer
+        // on the next drain (next pause or export).
+        telemetry_->emitSpan(TracePhase::SafepointWait, req_start, pause_start,
+                             static_cast<std::uint32_t>(threads_.mutatorCount()),
+                             0, /*gc_track=*/true);
+        telemetry_->emitSpan(TracePhase::GcMark, mark_start, trace_end,
+                             static_cast<std::uint32_t>(trace.objectsMarked),
+                             0, true);
+        telemetry_->emitSpan(TracePhase::GcPlugin, trace_end, mark_end,
+                             static_cast<std::uint32_t>(trace.refsPoisoned),
+                             0, true);
+        telemetry_->emitSpan(TracePhase::GcSweep, mark_end, sweep_end,
+                             static_cast<std::uint32_t>(finalized),
+                             live_bytes, true);
+        telemetry_->emitSpan(TracePhase::GcPause, pause_start, sweep_end,
+                             static_cast<std::uint32_t>(epoch_), live_bytes,
+                             true);
+        if (post_collection_hook_)
+            telemetry_->emitSpan(TracePhase::GcVerify, verify_start,
+                                 nowNanos(), 0, 0, true);
+        telemetry_->metrics().histogram("gc.pause_nanos")->add(
+            stats_.lastPauseNanos);
+        telemetry_->metrics().histogram("gc.safepoint_wait_nanos")->add(
+            safepoint_wait);
+        telemetry_->metrics().counter("gc.collections")->add(1);
+        telemetry_->metrics().counter("gc.objects_finalized")->add(finalized);
+        telemetry_->metrics().gauge("gc.live_bytes")->set(
+            static_cast<double>(live_bytes));
+    }
+#endif
 
     threads_.resumeTheWorld();
     return outcome;

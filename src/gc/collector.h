@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "gc/plugin.h"
 #include "gc/tracer.h"
@@ -23,11 +24,15 @@
 namespace lp {
 
 class Heap;
+class Telemetry;
 class ThreadRegistry;
 class WorkerPool;
 
 /** Cumulative collector statistics (drives Fig. 7's GC-time series). */
 struct GcStats {
+    /** Cap on the exact per-pause sample list below. */
+    static constexpr std::size_t kMaxPauseSamples = 65536;
+
     std::uint64_t collections = 0;
     std::uint64_t totalPauseNanos = 0;
     std::uint64_t totalMarkNanos = 0;
@@ -37,6 +42,16 @@ struct GcStats {
     std::uint64_t refsPoisonedTotal = 0;
     std::size_t lastLiveBytes = 0;
     std::uint64_t lastPauseNanos = 0;
+    std::uint64_t maxPauseNanos = 0;
+    //! Safepoint-request -> world-stopped latency (mutator stop lag).
+    std::uint64_t totalSafepointWaitNanos = 0;
+    std::uint64_t maxSafepointWaitNanos = 0;
+    //! Pause-time distribution. Always maintained (not telemetry-gated)
+    //! so bench output is identical with LP_TELEMETRY ON and OFF.
+    LogHistogram pauseHistogram;
+    //! Exact pause samples (nanos), capped at kMaxPauseSamples, for
+    //! honest p50/p95 in reports; the histogram covers the overflow.
+    std::vector<std::uint64_t> pauseSamplesNanos;
 };
 
 class Collector
@@ -59,6 +74,13 @@ class Collector
     /** Install (or clear) the collection plugin (leak pruning). */
     void setPlugin(CollectionPlugin *plugin) { plugin_ = plugin; }
     CollectionPlugin *plugin() const { return plugin_; }
+
+    /**
+     * Attach a telemetry engine (may be null). The collector emits
+     * GC-track phase spans and drains every thread's trace ring during
+     * the stop-the-world pause, when all producers are quiescent.
+     */
+    void setTelemetry(Telemetry *telemetry) { telemetry_ = telemetry; }
 
     /**
      * Install a hook run at the end of every collection, after the
@@ -104,6 +126,7 @@ class Collector
     std::unique_ptr<WorkerPool> pool_;
     std::unique_ptr<Tracer> tracer_;
     CollectionPlugin *plugin_ = nullptr;
+    Telemetry *telemetry_ = nullptr;
     std::function<void()> world_stopped_hook_;
     std::function<void(const CollectionOutcome &)> post_collection_hook_;
     GcStats stats_;

@@ -1,14 +1,75 @@
 #include "harness/driver.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <iomanip>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "core/errors.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace lp {
+
+namespace {
+
+/**
+ * Extra mutator threads churning short-lived allocations beside the
+ * workload. Every object is dropped immediately, so the live set (and
+ * the workload's pruning behaviour) is unchanged — the churn just
+ * exercises the multi-threaded paths: per-thread caches, safepoint
+ * parking, and one telemetry trace track per thread.
+ */
+class ChurnMutators
+{
+  public:
+    ChurnMutators(Runtime &rt, std::size_t count) : rt_(rt)
+    {
+        if (count == 0)
+            return;
+        churn_cls_ = rt_.defineClass("harness.Churn", 2, 16);
+        threads_.reserve(count);
+        for (std::size_t i = 0; i < count; ++i)
+            threads_.emplace_back([this, i] { run(i); });
+    }
+
+    ~ChurnMutators()
+    {
+        stop_.store(true, std::memory_order_relaxed);
+        // While joining, this thread must count as being at a
+        // safepoint: a churn thread may trigger a collection, and the
+        // collector would otherwise wait forever for the joiner.
+        BlockedScope blocked(rt_.threads());
+        for (std::thread &t : threads_)
+            t.join();
+    }
+
+  private:
+    void
+    run(std::size_t index)
+    {
+        MutatorScope scope(rt_.threads());
+        if (Telemetry *t = rt_.telemetry())
+            t->setThreadName("churn-" + std::to_string(index));
+        try {
+            while (!stop_.load(std::memory_order_relaxed))
+                rt_.allocate(churn_cls_);
+        } catch (const std::exception &) {
+            // The heap died under the workload (OOM / pruned access);
+            // the driver reports that from the workload thread.
+        }
+    }
+
+    Runtime &rt_;
+    class_id_t churn_cls_ = 0;
+    std::atomic<bool> stop_{false};
+    std::vector<std::thread> threads_;
+};
+
+} // namespace
 
 const char *
 endReasonName(EndReason r)
@@ -53,7 +114,10 @@ runWorkload(const WorkloadInfo &info, const DriverConfig &config)
     Runtime rt(rc);
     if (config.pinState && rt.pruning())
         rt.pruning()->pinStateForEvaluation(config.pinState);
+    if (Telemetry *t = rt.telemetry())
+        t->setThreadName(info.name);
     workload->setUp(rt);
+    auto churn = std::make_unique<ChurnMutators>(rt, config.extraMutators);
 
     Timer wall;
     wall.start();
@@ -100,6 +164,9 @@ runWorkload(const WorkloadInfo &info, const DriverConfig &config)
         result.endDetail = err.what();
     }
     wall.stop();
+    // Join the churn threads before reading any statistics: a running
+    // mutator could still trigger a collection and mutate them.
+    churn.reset();
 
     result.iterations = iter;
     result.seconds = wall.elapsedSeconds();
@@ -112,14 +179,43 @@ runWorkload(const WorkloadInfo &info, const DriverConfig &config)
         result.pruning = rt.pruning()->stats();
         result.pruneLog = rt.pruning()->pruneLog();
         result.edgeTypeCount = rt.pruning()->edgeTable().count();
-        result.pruningReport = buildPruningReport(*rt.pruning());
+        const PruneAuditTrail *audit =
+            rt.telemetry() ? &rt.telemetry()->audit() : nullptr;
+        result.pruningReport = buildPruningReport(*rt.pruning(), audit);
     }
+    if (Telemetry *t = rt.telemetry())
+        result.audit = t->audit().summary();
     if (rt.diskOffload())
         result.offload = rt.diskOffload()->stats();
+
+    if (!config.tracePath.empty() && !rt.writeTrace(config.tracePath))
+        warn("could not write trace to ", config.tracePath,
+             " (telemetry off or path unwritable)");
+    if (!config.metricsJsonPath.empty() &&
+        !rt.writeMetricsJson(config.metricsJsonPath))
+        warn("could not write metrics to ", config.metricsJsonPath);
+    if (!config.metricsCsvPath.empty() &&
+        !rt.writeMetricsCsv(config.metricsCsvPath))
+        warn("could not write metrics to ", config.metricsCsvPath);
 
     // The workload (with its GlobalRoots) must die before the Runtime.
     workload.reset();
     return result;
+}
+
+std::uint64_t
+RunResult::pausePercentileNanos(double fraction) const
+{
+    if (gc.pauseSamplesNanos.empty())
+        return 0;
+    std::vector<std::uint64_t> s = gc.pauseSamplesNanos;
+    const std::size_t idx = std::min(
+        s.size() - 1,
+        static_cast<std::size_t>(fraction * static_cast<double>(s.size() - 1) +
+                                 0.5));
+    std::nth_element(s.begin(), s.begin() + static_cast<std::ptrdiff_t>(idx),
+                     s.end());
+    return s[idx];
 }
 
 RunResult

@@ -69,6 +69,19 @@ struct DriverConfig {
     double maxSeconds = 20.0;
     bool recordSeries = false;  //!< keep per-iteration memory/time series
     std::uint64_t sampleEvery = 1;
+    /**
+     * Extra churn mutator threads run alongside the workload: each
+     * registers as a mutator and allocates short-lived objects until
+     * the run ends. The workloads themselves are single-threaded, so
+     * this is how a run exercises (and a trace shows) multiple mutator
+     * tracks, safepoint waits, and per-thread cache churn.
+     */
+    std::size_t extraMutators = 0;
+    //! Non-empty: write a Chrome trace / metrics snapshot here at the
+    //! end of the run (no-ops when telemetry is compiled out).
+    std::string tracePath;
+    std::string metricsJsonPath;
+    std::string metricsCsvPath;
 };
 
 /** Plain (non-atomic) copy of the barrier counters. */
@@ -101,6 +114,15 @@ struct RunResult {
     std::size_t edgeTypeCount = 0;     //!< Table 2's last column
     std::size_t heapBytes = 0;
     std::size_t maxLiveBytes = 0;      //!< peak post-GC reachable bytes
+    //! Pruning-accuracy audit (telemetry); default-initialized (zero
+    //! records, accuracy 1.0, ungraded) when the layer is compiled out.
+    PruneAuditSummary audit;
+
+    /**
+     * Exact pause-time percentile in nanos from the collector's capped
+     * sample list (p50: fraction=0.5). 0 when no collection ran.
+     */
+    std::uint64_t pausePercentileNanos(double fraction) const;
 
     /** iterations(this) / iterations(base), the paper's "NX longer". */
     double

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <thread>
 
+#include "telemetry/telemetry.h"
 #include "util/logging.h"
 
 namespace lp {
@@ -45,6 +46,9 @@ ThreadAllocCache::allocateRefill(std::size_t bytes)
     void *mem = carve(lease);
     LP_ASSERT(mem, "fresh chunk lease has no carvable block");
     noteAllocated(bytes, lease.blockBytes);
+    telInstant(telemetry_, TracePhase::CacheRefill,
+               static_cast<std::uint32_t>(cls),
+               static_cast<std::uint64_t>(lease.numBlocks) * lease.blockBytes);
     return mem;
 }
 
@@ -98,20 +102,34 @@ AllocCacheSet::mine()
         return tls_cache;
     std::lock_guard<std::mutex> lock(mutex_);
     auto &slot = caches_[selfId()];
-    if (!slot)
+    if (!slot) {
         slot = std::make_unique<ThreadAllocCache>(heap_);
+        slot->setTelemetry(telemetry_);
+    }
     tls_cache_set_id = set_id_;
     tls_cache = slot.get();
     return slot.get();
+}
+
+void
+AllocCacheSet::setTelemetry(Telemetry *telemetry)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    telemetry_ = telemetry;
+    for (auto &[id, cache] : caches_)
+        cache->setTelemetry(telemetry);
 }
 
 std::uint64_t
 AllocCacheSet::retireAll()
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    TelemetrySpan span(telemetry_, TracePhase::CacheRetireAll,
+                       /*gc_track=*/true);
     std::uint64_t drained = 0;
     for (auto &[id, cache] : caches_)
         drained += cache->retireAll();
+    span.setArgs(static_cast<std::uint32_t>(caches_.size()), drained);
     return drained;
 }
 

@@ -44,6 +44,8 @@
 
 namespace lp {
 
+class Telemetry;
+
 /**
  * Per-thread allocation state: one chunk lease per size class plus
  * the allocation tallies not yet folded into shared counters. All
@@ -107,6 +109,9 @@ class ThreadAllocCache
      */
     std::uint64_t retireAll();
 
+    /** Attach a telemetry engine (may be null); refills emit events. */
+    void setTelemetry(Telemetry *telemetry) { telemetry_ = telemetry; }
+
   private:
     void *carve(ChunkLease &lease);
 
@@ -121,6 +126,7 @@ class ThreadAllocCache
     void flushStats();
 
     Heap &heap_;
+    Telemetry *telemetry_ = nullptr;
     std::vector<ChunkLease> leases_;   //!< indexed by size class
     std::uint64_t trigger_bytes_ = 0;  //!< undrained GC-trigger bytes
     std::uint64_t pending_allocs_ = 0; //!< HeapStats not yet flushed
@@ -152,8 +158,16 @@ class AllocCacheSet
      */
     std::uint64_t retireAll();
 
+    /**
+     * Attach a telemetry engine; propagated to every existing and
+     * future per-thread cache. Call before mutators start (the runtime
+     * does it in its constructor), never mid-run.
+     */
+    void setTelemetry(Telemetry *telemetry);
+
   private:
     Heap &heap_;
+    Telemetry *telemetry_ = nullptr;
     //! Process-unique id the TLS cache keys on (never an address,
     //! which a later Runtime could reuse).
     const std::uint64_t set_id_;

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Chrome trace-event JSON exporter.
+ *
+ * Writes the drained event buffer in the Trace Event Format that
+ * Perfetto (ui.perfetto.dev) and chrome://tracing load directly: a
+ * {"traceEvents": [...]} object containing thread-name metadata, one
+ * "X" (complete) event per span, and one "i" (instant) event per
+ * point record. Mutator events keep their own track; events flagged
+ * gcTrack land on the synthetic "GC" track (tid 0) regardless of
+ * which thread emitted them, so GC pauses read as one timeline even
+ * though any mutator can be the collecting thread.
+ */
+
+#ifndef LP_TELEMETRY_CHROME_TRACE_H
+#define LP_TELEMETRY_CHROME_TRACE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lp {
+
+struct DrainedEvent;
+
+/**
+ * @param os destination stream.
+ * @param events drained events (any order; sorted by timestamp here).
+ * @param thread_names (tid, name) pairs for track naming.
+ */
+void writeChromeTrace(
+    std::ostream &os, const std::vector<DrainedEvent> &events,
+    const std::vector<std::pair<std::uint32_t, std::string>> &thread_names);
+
+} // namespace lp
+
+#endif // LP_TELEMETRY_CHROME_TRACE_H

@@ -1,0 +1,97 @@
+#include "telemetry/metrics.h"
+
+#include <ostream>
+
+namespace lp {
+
+MetricCounter *
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<MetricCounter>();
+    return slot.get();
+}
+
+MetricGauge *
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<MetricGauge>();
+    return slot.get();
+}
+
+MetricHistogram *
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<MetricHistogram>();
+    return slot.get();
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, c] : counters_) {
+        os << (first ? "" : ",") << "\n    \"" << name
+           << "\": " << c->value();
+        first = false;
+    }
+    os << "\n  },\n  \"gauges\": {";
+    first = true;
+    for (const auto &[name, g] : gauges_) {
+        os << (first ? "" : ",") << "\n    \"" << name
+           << "\": " << g->value();
+        first = false;
+    }
+    os << "\n  },\n  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        const LogHistogram hist = h->snapshot();
+        os << (first ? "" : ",") << "\n    \"" << name
+           << "\": {\"count\": " << hist.count()
+           << ", \"p50\": " << hist.percentileBound(0.50)
+           << ", \"p95\": " << hist.percentileBound(0.95)
+           << ", \"buckets\": [";
+        bool bfirst = true;
+        for (unsigned i = 0; i < LogHistogram::kBuckets; ++i) {
+            if (hist.bucket(i) == 0)
+                continue;
+            os << (bfirst ? "" : ", ") << "{\"le\": " << (std::uint64_t{1} << i)
+               << ", \"count\": " << hist.bucket(i) << "}";
+            bfirst = false;
+        }
+        os << "]}";
+        first = false;
+    }
+    os << "\n  }\n}\n";
+}
+
+void
+MetricsRegistry::writeCsv(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << "kind,name,value\n";
+    for (const auto &[name, c] : counters_)
+        os << "counter," << name << "," << c->value() << "\n";
+    for (const auto &[name, g] : gauges_)
+        os << "gauge," << name << "," << g->value() << "\n";
+    for (const auto &[name, h] : histograms_) {
+        const LogHistogram hist = h->snapshot();
+        os << "histogram_count," << name << "," << hist.count() << "\n";
+        os << "histogram_p50," << name << "," << hist.percentileBound(0.50)
+           << "\n";
+        os << "histogram_p95," << name << "," << hist.percentileBound(0.95)
+           << "\n";
+    }
+}
+
+} // namespace lp

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The metrics registry: named counters, gauges, and log2-bucketed
+ * duration histograms, snapshot-able at any safepoint.
+ *
+ * Registration (name -> instrument) takes a mutex and may allocate;
+ * do it once and cache the returned pointer. Updating an instrument
+ * through its pointer is lock-free for counters/gauges and takes a
+ * tiny per-histogram mutex for histograms — all update sites sit on
+ * cold paths (end of a GC phase, a chunk refill, an I/O completion),
+ * never on the allocation or barrier fast path.
+ */
+
+#ifndef LP_TELEMETRY_METRICS_H
+#define LP_TELEMETRY_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/stats.h"
+
+namespace lp {
+
+/** Monotonic event counter (see util/stats.h Counter). */
+using MetricCounter = Counter;
+
+/** Last-write-wins instantaneous value. */
+class MetricGauge
+{
+  public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    double value() const { return value_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/** Thread-safe log2-bucketed histogram (wraps util LogHistogram). */
+class MetricHistogram
+{
+  public:
+    void
+    add(std::uint64_t v)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        hist_.add(v);
+    }
+
+    /** Copy out the underlying histogram (snapshot consistency). */
+    LogHistogram
+    snapshot() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return hist_;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    LogHistogram hist_;
+};
+
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** Find-or-create; the returned pointer is stable for the
+     *  registry's lifetime. */
+    MetricCounter *counter(const std::string &name);
+    MetricGauge *gauge(const std::string &name);
+    MetricHistogram *histogram(const std::string &name);
+
+    /**
+     * Emit every instrument as one JSON object:
+     *   {"counters": {...}, "gauges": {...},
+     *    "histograms": {"name": {"count": N, "p50": ..., "p95": ...,
+     *                            "buckets": [{"le": 2^i, "count": c}]}}}
+     * Buckets with zero count are omitted.
+     */
+    void writeJson(std::ostream &os) const;
+
+    /** Emit "kind,name,value" CSV rows (histograms: count/p50/p95). */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<MetricCounter>> counters_;
+    std::map<std::string, std::unique_ptr<MetricGauge>> gauges_;
+    std::map<std::string, std::unique_ptr<MetricHistogram>> histograms_;
+};
+
+} // namespace lp
+
+#endif // LP_TELEMETRY_METRICS_H

@@ -1,0 +1,131 @@
+#include "telemetry/telemetry.h"
+
+#include <atomic>
+#include <thread>
+
+#include "telemetry/chrome_trace.h"
+
+namespace lp {
+
+namespace {
+
+/** Stable id for the calling thread (same scheme as ThreadRegistry). */
+std::uint64_t
+selfId()
+{
+    return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+// TLS ring pointer, keyed on the engine id (never an address, which a
+// later Runtime could reuse). One live engine per thread at a time is
+// the common case; a second engine just repopulates the slot.
+thread_local std::uint64_t tls_engine_id = 0;
+thread_local TraceRing *tls_ring = nullptr;
+
+std::atomic<std::uint64_t> next_engine_id{1};
+
+} // namespace
+
+Telemetry::Telemetry(TelemetryConfig config)
+    : config_(config),
+      engine_id_(next_engine_id.fetch_add(1, std::memory_order_relaxed))
+{}
+
+Telemetry::~Telemetry() = default;
+
+TraceRing *
+Telemetry::myRing()
+{
+    if (tls_engine_id == engine_id_ && tls_ring)
+        return tls_ring;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = rings_[selfId()];
+    if (!slot) {
+        slot = std::make_unique<ThreadRing>(config_.ringCapacity, next_tid_);
+        slot->name = "mutator-" + std::to_string(next_tid_);
+        ++next_tid_;
+    }
+    tls_engine_id = engine_id_;
+    tls_ring = &slot->ring;
+    return tls_ring;
+}
+
+void
+Telemetry::setThreadName(const std::string &name)
+{
+    myRing(); // ensure the calling thread's ring exists
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings_[selfId()]->name = name;
+}
+
+void
+Telemetry::drainAll()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<TraceEvent> batch;
+    for (auto &[id, tr] : rings_) {
+        batch.clear();
+        tr->ring.drainInto(batch);
+        for (const TraceEvent &ev : batch)
+            drained_.push_back(DrainedEvent{ev, tr->tid});
+    }
+}
+
+std::uint64_t
+Telemetry::droppedEvents() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t total = 0;
+    for (const auto &[id, tr] : rings_)
+        total += tr->ring.dropped();
+    return total;
+}
+
+std::size_t
+Telemetry::threadCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rings_.size();
+}
+
+void
+Telemetry::syncDropMetric()
+{
+    // Folded in at export time: per-ring drop counters are the ground
+    // truth; the metric is their snapshot for dashboards/harness.
+    const std::uint64_t dropped = droppedEvents();
+    metrics_.gauge("telemetry.dropped_events")
+        ->set(static_cast<double>(dropped));
+    metrics_.gauge("telemetry.threads")
+        ->set(static_cast<double>(threadCount()));
+}
+
+void
+Telemetry::writeChromeTrace(std::ostream &os)
+{
+    syncDropMetric();
+    std::vector<std::pair<std::uint32_t, std::string>> names;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        names.reserve(rings_.size());
+        for (const auto &[id, tr] : rings_)
+            names.emplace_back(tr->tid, tr->name);
+    }
+    lp::writeChromeTrace(os, drained_, names);
+}
+
+void
+Telemetry::writeMetricsJson(std::ostream &os)
+{
+    syncDropMetric();
+    metrics_.writeJson(os);
+}
+
+void
+Telemetry::writeMetricsCsv(std::ostream &os)
+{
+    syncDropMetric();
+    metrics_.writeCsv(os);
+}
+
+} // namespace lp

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * The telemetry engine: one instance per Runtime, owning the
+ * per-thread trace rings, the metrics registry, and the pruning
+ * audit trail.
+ *
+ * Design (see DESIGN.md "Telemetry & tracing"):
+ *
+ *  - Emission is per-thread and wait-free. Each thread that emits gets
+ *    a private SPSC TraceRing (found through a TLS pointer keyed on a
+ *    process-unique engine id, the same scheme as the allocation
+ *    caches), so the hot path is a handful of stores. Overflow drops
+ *    the event and counts the drop — telemetry may never block,
+ *    allocate, or take a lock on an instrumented path.
+ *  - Draining is epoch-based at stop-the-world: the collector's pause
+ *    calls drainAll() while every producer is parked or blocked, so
+ *    the central buffer absorbs each ring's events with plain SPSC
+ *    hand-off and exact ordering per thread.
+ *  - Export happens off-line (end of run, or any quiescent point):
+ *    Chrome trace-event JSON (load in Perfetto / chrome://tracing)
+ *    with one track per thread plus a synthetic GC track, and a
+ *    metrics snapshot as JSON or CSV.
+ *
+ * The whole layer compiles away under -DLP_TELEMETRY=OFF: the classes
+ * still build (so the code cannot rot), but instrumentation sites are
+ * compiled out via LP_TELEMETRY_ENABLED and the Runtime never
+ * instantiates an engine.
+ */
+
+#ifndef LP_TELEMETRY_TELEMETRY_H
+#define LP_TELEMETRY_TELEMETRY_H
+
+// CMake's LP_TELEMETRY option sets this to 0 to compile every
+// instrumentation site down to nothing. Default: enabled.
+#ifndef LP_TELEMETRY_ENABLED
+#define LP_TELEMETRY_ENABLED 1
+#endif
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "telemetry/audit.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace_event.h"
+#include "telemetry/trace_ring.h"
+#include "util/timer.h"
+
+namespace lp {
+
+/** One drained event plus the track (thread) it came from. */
+struct DrainedEvent {
+    TraceEvent ev;
+    std::uint32_t tid = 0; //!< exporter track id; 0 is the GC track
+};
+
+/** Engine knobs. */
+struct TelemetryConfig {
+    /** Per-thread ring slots (rounded up to a power of two). */
+    std::size_t ringCapacity = 16384;
+};
+
+class Telemetry
+{
+  public:
+    /** The synthetic GC track's exporter id. */
+    static constexpr std::uint32_t kGcTrackId = 0;
+
+    explicit Telemetry(TelemetryConfig config = {});
+    ~Telemetry();
+
+    Telemetry(const Telemetry &) = delete;
+    Telemetry &operator=(const Telemetry &) = delete;
+
+    // --- emission (calling thread's ring; cold paths only) ---------------
+
+    /** Point event at "now". */
+    void
+    emitInstant(TracePhase phase, std::uint32_t a32 = 0, std::uint64_t a64 = 0,
+                bool gc_track = false)
+    {
+        TraceEvent ev;
+        ev.tsNanos = nowNanos();
+        ev.kind = EventKind::Instant;
+        ev.phase = phase;
+        ev.gcTrack = gc_track ? 1 : 0;
+        ev.a32 = a32;
+        ev.a64 = a64;
+        myRing()->emit(ev);
+    }
+
+    /** Duration event over [start_nanos, end_nanos). */
+    void
+    emitSpan(TracePhase phase, std::uint64_t start_nanos,
+             std::uint64_t end_nanos, std::uint32_t a32 = 0,
+             std::uint64_t a64 = 0, bool gc_track = false)
+    {
+        TraceEvent ev;
+        ev.tsNanos = start_nanos;
+        ev.durNanos = end_nanos > start_nanos ? end_nanos - start_nanos : 0;
+        ev.kind = EventKind::Span;
+        ev.phase = phase;
+        ev.gcTrack = gc_track ? 1 : 0;
+        ev.a32 = a32;
+        ev.a64 = a64;
+        myRing()->emit(ev);
+    }
+
+    /** Name the calling thread's track in exported traces. */
+    void setThreadName(const std::string &name);
+
+    // --- drain (stop-the-world or otherwise quiescent) --------------------
+
+    /**
+     * Move every ring's published events into the central buffer.
+     * Producers must be parked/blocked or be the calling thread; the
+     * collector's world-stopped hook is the canonical call site.
+     */
+    void drainAll();
+
+    /** The drained central buffer (call drainAll() first). */
+    const std::vector<DrainedEvent> &events() const { return drained_; }
+
+    /** Total events lost to full rings, across all threads. */
+    std::uint64_t droppedEvents() const;
+
+    /** Threads that have emitted at least one event. */
+    std::size_t threadCount() const;
+
+    // --- registries --------------------------------------------------------
+
+    MetricsRegistry &metrics() { return metrics_; }
+    const MetricsRegistry &metrics() const { return metrics_; }
+
+    PruneAuditTrail &audit() { return audit_; }
+    const PruneAuditTrail &audit() const { return audit_; }
+
+    // --- export ------------------------------------------------------------
+
+    /**
+     * Write the drained buffer as Chrome trace-event JSON, one track
+     * per emitting thread plus the GC track. Call drainAll() first
+     * (the writer also folds drop counters into the metrics registry
+     * as "telemetry.dropped_events").
+     */
+    void writeChromeTrace(std::ostream &os);
+
+    void writeMetricsJson(std::ostream &os);
+    void writeMetricsCsv(std::ostream &os);
+
+  private:
+    struct ThreadRing {
+        explicit ThreadRing(std::size_t capacity, std::uint32_t tid_)
+            : ring(capacity), tid(tid_)
+        {}
+        TraceRing ring;
+        std::uint32_t tid;
+        std::string name;
+    };
+
+    TraceRing *myRing();
+    void syncDropMetric();
+
+    TelemetryConfig config_;
+    //! Process-unique engine id the TLS ring pointer keys on.
+    const std::uint64_t engine_id_;
+    mutable std::mutex mutex_; //!< guards rings_ and drained_
+    std::unordered_map<std::uint64_t, std::unique_ptr<ThreadRing>> rings_;
+    std::uint32_t next_tid_ = 1; //!< 0 is reserved for the GC track
+    std::vector<DrainedEvent> drained_;
+    MetricsRegistry metrics_;
+    PruneAuditTrail audit_;
+};
+
+/**
+ * RAII span: records its construction time and emits one complete
+ * span event at destruction. A null engine (telemetry compiled out or
+ * not instantiated) makes it a no-op. The LP_TELEMETRY_ENABLED=0
+ * variant compiles to an empty object so instrumented functions carry
+ * zero code when the layer is off.
+ */
+class TelemetrySpan
+{
+  public:
+#if LP_TELEMETRY_ENABLED
+    TelemetrySpan(Telemetry *telemetry, TracePhase phase, bool gc_track = false)
+        : telemetry_(telemetry), phase_(phase), gc_track_(gc_track),
+          start_(telemetry ? nowNanos() : 0)
+    {}
+
+    ~TelemetrySpan()
+    {
+        if (telemetry_)
+            telemetry_->emitSpan(phase_, start_, nowNanos(), a32_, a64_,
+                                 gc_track_);
+    }
+
+    /** Attach payload reported with the span's end event. */
+    void
+    setArgs(std::uint32_t a32, std::uint64_t a64 = 0)
+    {
+        a32_ = a32;
+        a64_ = a64;
+    }
+
+  private:
+    Telemetry *telemetry_;
+    TracePhase phase_;
+    bool gc_track_;
+    std::uint64_t start_;
+    std::uint32_t a32_ = 0;
+    std::uint64_t a64_ = 0;
+#else
+    TelemetrySpan(Telemetry *, TracePhase, bool = false) {}
+    void setArgs(std::uint32_t, std::uint64_t = 0) {}
+#endif
+
+  public:
+    TelemetrySpan(const TelemetrySpan &) = delete;
+    TelemetrySpan &operator=(const TelemetrySpan &) = delete;
+};
+
+/**
+ * Instant-emission helper that vanishes when telemetry is compiled
+ * out. Usage: telInstant(telemetry(), TracePhase::PoisonAccess, ...).
+ */
+inline void
+telInstant([[maybe_unused]] Telemetry *telemetry,
+           [[maybe_unused]] TracePhase phase,
+           [[maybe_unused]] std::uint32_t a32 = 0,
+           [[maybe_unused]] std::uint64_t a64 = 0,
+           [[maybe_unused]] bool gc_track = false)
+{
+#if LP_TELEMETRY_ENABLED
+    if (telemetry)
+        telemetry->emitInstant(phase, a32, a64, gc_track);
+#endif
+}
+
+} // namespace lp
+
+#endif // LP_TELEMETRY_TELEMETRY_H

@@ -1,0 +1,34 @@
+#include "telemetry/trace_ring.h"
+
+namespace lp {
+
+namespace {
+
+std::size_t
+roundUpPow2(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+TraceRing::TraceRing(std::size_t capacity)
+    : slots_(roundUpPow2(capacity < 2 ? 2 : capacity)),
+      mask_(slots_.size() - 1)
+{}
+
+void
+TraceRing::drainInto(std::vector<TraceEvent> &out)
+{
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    out.reserve(out.size() + static_cast<std::size_t>(head - tail));
+    for (; tail != head; ++tail)
+        out.push_back(slots_[tail & mask_]);
+    tail_.store(tail, std::memory_order_release);
+}
+
+} // namespace lp

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fixed-size single-producer/single-consumer trace-event ring.
+ *
+ * One ring per mutator thread: the owning thread is the only producer,
+ * and the only consumer is the stop-the-world drain (the collecting
+ * thread, while every producer is parked or blocked) or the owner
+ * itself. Emission is wait-free — two relaxed loads, a store of the
+ * 32-byte record, and one release store of the head index; a full ring
+ * drops the event and counts the drop rather than blocking or
+ * allocating. That makes emit safe from allocation slow paths and
+ * barrier cold paths, where taking a lock could deadlock against a
+ * pending pause.
+ *
+ * The SPSC indices are atomics so a drain that races a not-yet-parked
+ * producer is still well-defined (the drain simply misses events the
+ * producer has not published); under the documented protocol — drain
+ * only at stop-the-world or from the owner — no event is ever missed.
+ */
+
+#ifndef LP_TELEMETRY_TRACE_RING_H
+#define LP_TELEMETRY_TRACE_RING_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/trace_event.h"
+
+namespace lp {
+
+class TraceRing
+{
+  public:
+    /** @param capacity ring slots; rounded up to a power of two. */
+    explicit TraceRing(std::size_t capacity);
+
+    TraceRing(const TraceRing &) = delete;
+    TraceRing &operator=(const TraceRing &) = delete;
+
+    /**
+     * Producer side: publish @p ev, or count a drop when the ring is
+     * full. Owner thread only.
+     */
+    void
+    emit(const TraceEvent &ev)
+    {
+        const std::uint64_t head = head_.load(std::memory_order_relaxed);
+        const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+        if (head - tail >= slots_.size()) [[unlikely]] {
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        slots_[head & mask_] = ev;
+        head_.store(head + 1, std::memory_order_release);
+    }
+
+    /**
+     * Consumer side: move every published event into @p out (appended
+     * in emission order) and advance the tail. Call only from the
+     * owner thread or while the owner is stopped at a safepoint.
+     */
+    void drainInto(std::vector<TraceEvent> &out);
+
+    /** Events lost to a full ring since construction. */
+    std::uint64_t
+    dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+    /** Published-but-undrained event count (diagnostics). */
+    std::size_t
+    pending() const
+    {
+        return static_cast<std::size_t>(
+            head_.load(std::memory_order_acquire) -
+            tail_.load(std::memory_order_acquire));
+    }
+
+    std::size_t capacity() const { return slots_.size(); }
+
+  private:
+    std::vector<TraceEvent> slots_;
+    std::uint64_t mask_;
+    //! Monotonic producer index; slot = head & mask.
+    std::atomic<std::uint64_t> head_{0};
+    //! Monotonic consumer index.
+    std::atomic<std::uint64_t> tail_{0};
+    std::atomic<std::uint64_t> dropped_{0};
+};
+
+} // namespace lp
+
+#endif // LP_TELEMETRY_TRACE_RING_H

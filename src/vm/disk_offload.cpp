@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "object/object.h"
+#include "telemetry/telemetry.h"
 #include "util/logging.h"
 #include "vm/runtime.h"
 
@@ -95,6 +96,12 @@ DiskOffload::forEachRecordStub(const StubRecord &record, Fn &&fn) const
 std::uint64_t
 DiskOffload::offloadSubgraph(Object *root)
 {
+    // Runs inside the collection pause; the "write" goes on the GC
+    // track (args: cohort objects, bytes serialized).
+    TelemetrySpan span(rt_.telemetry(), TracePhase::OffloadWrite,
+                      /*gc_track=*/true);
+    std::uint64_t span_bytes = 0;
+
     // Two passes over the unmarked subgraph: assign stub ids, then
     // serialize with internal references rewritten to stub words and
     // external (live) references kept as raw words + keep-alive roots.
@@ -160,8 +167,10 @@ DiskOffload::offloadSubgraph(Object *root)
         stats_.diskLiveBytes += record.chargedBytes;
         ++stats_.objectsOffloaded;
         stats_.bytesOffloaded += record.chargedBytes;
+        span_bytes += record.chargedBytes;
         disk_.emplace(id, std::move(record));
     }
+    span.setArgs(static_cast<std::uint32_t>(cohort.size()), span_bytes);
     return offload_map_[root];
 }
 
@@ -303,6 +312,9 @@ DiskOffload::shouldKeepCollecting(unsigned rounds_so_far) const
 Object *
 DiskOffload::faultIn(ref_t *slot, ref_t observed)
 {
+    // Mutator-track span: the paper's baseline pays for mispredictions
+    // with faults like this one, and traces make that cost visible.
+    TelemetrySpan span(rt_.telemetry(), TracePhase::OffloadFault);
     const std::uint64_t id = stubId(observed);
     StubRecord record;
     {

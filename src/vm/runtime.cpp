@@ -1,6 +1,7 @@
 #include "vm/runtime.h"
 
 #include <algorithm>
+#include <fstream>
 
 #include "util/logging.h"
 
@@ -57,15 +58,30 @@ Runtime::Runtime(const RuntimeConfig &config)
                                              config_.gcThreads);
     collector_->setPlugin(tolerance_plugin_);
 
+#if LP_TELEMETRY_ENABLED
+    telemetry_ = std::make_unique<Telemetry>(config_.telemetry);
+    collector_->setTelemetry(telemetry_.get());
+    alloc_caches_.setTelemetry(telemetry_.get());
+#endif
+
     VerifierContext vctx;
     vctx.heap = &heap_;
     vctx.registry = &registry_;
     vctx.roots = this;
     vctx.pruning = pruning_.get();
     vctx.gcStats = &collector_->stats();
+#if LP_TELEMETRY_ENABLED
+    vctx.audit = &telemetry_->audit();
+#endif
     vctx.offloadActive = offload_ != nullptr;
     verifier_ = std::make_unique<HeapVerifier>(vctx, config_.verifier);
     collector_->setPostCollectionHook([this](const CollectionOutcome &outcome) {
+#if LP_TELEMETRY_ENABLED
+        // Capture fresh prune decisions first: the verifier's audit
+        // invariant cross-checks the trail against the engine's own
+        // statistics, so the trail must be current when it runs.
+        capturePruneAudit();
+#endif
         if (verifier_->due(outcome.epoch))
             verifier_->verify(outcome.epoch);
     });
@@ -311,6 +327,14 @@ Runtime::readBarrierColdPath(Object *src, const ClassInfo &src_cls,
         if (offload_)
             return offload_->faultIn(addr, observed);
         BarrierStats::bump(barrier_stats_.poisonThrows);
+#if LP_TELEMETRY_ENABLED
+        if (telemetry_) {
+            // Grade the prediction: this pruned reference turned out
+            // to be live. Only the source end still exists to name.
+            telemetry_->audit().recordPoisonAccess(src_cls.id);
+            telemetry_->emitInstant(TracePhase::PoisonAccess, src_cls.id);
+        }
+#endif
         std::shared_ptr<const OutOfMemoryError> cause =
             pruning_ ? pruning_->avertedOutOfMemory() : nullptr;
         // Do NOT touch the target: its memory was reclaimed and may
@@ -341,6 +365,90 @@ Runtime::readBarrierColdPath(Object *src, const ClassInfo &src_cls,
     tgt->clearStaleCounter();
     BarrierStats::bump(barrier_stats_.staleResets);
     return tgt;
+}
+
+#if LP_TELEMETRY_ENABLED
+
+void
+Runtime::capturePruneAudit()
+{
+    if (!pruning_)
+        return;
+    const std::vector<PruneEvent> &log = pruning_->pruneLog();
+    for (; audit_seen_prunes_ < log.size(); ++audit_seen_prunes_) {
+        const PruneEvent &ev = log[audit_seen_prunes_];
+        PruneAuditRecord rec;
+        rec.epoch = ev.epoch;
+        rec.hasType = ev.hasType;
+        rec.srcClass = ev.type.srcClass;
+        rec.tgtClass = ev.type.tgtClass;
+        rec.typeName = ev.typeName;
+        rec.staleLevel = ev.staleLevel;
+        rec.refsPoisoned = ev.refsPoisoned;
+        rec.bytesReclaimed = ev.bytesSelected;
+        telemetry_->audit().recordPrune(std::move(rec));
+        telemetry_->emitInstant(TracePhase::PruneDecision,
+                                static_cast<std::uint32_t>(ev.refsPoisoned),
+                                ev.bytesSelected, /*gc_track=*/true);
+    }
+}
+
+#endif // LP_TELEMETRY_ENABLED
+
+void
+Runtime::drainTelemetry()
+{
+#if LP_TELEMETRY_ENABLED
+    AllocLock lock(alloc_mutex_, threads_);
+    threads_.stopTheWorld();
+    telemetry_->drainAll();
+    threads_.resumeTheWorld();
+#endif
+}
+
+namespace {
+
+/** Open @p path for writing and pass the stream to @p writer. */
+template <typename Writer>
+bool
+writeFile([[maybe_unused]] const std::string &path,
+          [[maybe_unused]] Writer &&writer)
+{
+#if LP_TELEMETRY_ENABLED
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writer(os);
+    return os.good();
+#else
+    return false;
+#endif
+}
+
+} // namespace
+
+bool
+Runtime::writeTrace(const std::string &path)
+{
+    drainTelemetry();
+    return writeFile(path,
+                     [&](std::ostream &os) { telemetry()->writeChromeTrace(os); });
+}
+
+bool
+Runtime::writeMetricsJson(const std::string &path)
+{
+    drainTelemetry();
+    return writeFile(path,
+                     [&](std::ostream &os) { telemetry()->writeMetricsJson(os); });
+}
+
+bool
+Runtime::writeMetricsCsv(const std::string &path)
+{
+    drainTelemetry();
+    return writeFile(path,
+                     [&](std::ostream &os) { telemetry()->writeMetricsCsv(os); });
 }
 
 } // namespace lp

@@ -43,6 +43,7 @@
 #include "heap/thread_cache.h"
 #include "object/class_info.h"
 #include "object/object.h"
+#include "telemetry/telemetry.h"
 #include "threads/safepoint.h"
 #include "vm/handles.h"
 
@@ -111,6 +112,12 @@ struct RuntimeConfig {
      * runs a pass on demand regardless of `enabled`.
      */
     HeapVerifierConfig verifier;
+    /**
+     * Telemetry engine knobs (ring capacity). The engine itself exists
+     * only when the build has LP_TELEMETRY=ON; with the layer compiled
+     * out this field is ignored and telemetry() returns nullptr.
+     */
+    TelemetryConfig telemetry;
 };
 
 /**
@@ -297,6 +304,38 @@ class Runtime : public RootProvider
     DiskOffload *diskOffload() { return offload_.get(); }
     const DiskOffload *diskOffload() const { return offload_.get(); }
 
+    // --- telemetry ---------------------------------------------------------
+
+    /**
+     * The telemetry engine, or nullptr when the layer is compiled out
+     * (LP_TELEMETRY=OFF). Instrumentation sites must tolerate null.
+     */
+    Telemetry *
+    telemetry()
+    {
+#if LP_TELEMETRY_ENABLED
+        return telemetry_.get();
+#else
+        return nullptr;
+#endif
+    }
+
+    /**
+     * Bring the runtime to a quiescent point (allocation lock +
+     * stop-the-world), drain every thread's trace ring into the
+     * central buffer, and resume. Export helpers call this first.
+     */
+    void drainTelemetry();
+
+    /**
+     * Write the Chrome trace-event JSON / metrics snapshot to @p path.
+     * Each drains first. Returns false when telemetry is compiled out
+     * or the file cannot be opened.
+     */
+    bool writeTrace(const std::string &path);
+    bool writeMetricsJson(const std::string &path);
+    bool writeMetricsCsv(const std::string &path);
+
     /** Reachable bytes measured at the end of the last collection. */
     std::size_t lastLiveBytes() const { return collector_->stats().lastLiveBytes; }
 
@@ -334,8 +373,24 @@ class Runtime : public RootProvider
     Object *readBarrierColdPath(Object *src, const ClassInfo &src_cls,
                                 ref_t *addr, ref_t observed);
 
+#if LP_TELEMETRY_ENABLED
+    /**
+     * Fold PruneEvents the engine logged since the last capture into
+     * the audit trail (and emit prune-decision trace instants). Runs
+     * in the post-collection hook, before the verifier cross-checks
+     * audit totals against the engine's statistics.
+     */
+    void capturePruneAudit();
+#endif
+
     RuntimeConfig config_;
     ClassRegistry registry_;
+#if LP_TELEMETRY_ENABLED
+    //! Declared before the heap/caches/collector so the engine
+    //! outlives every instrumented component during destruction.
+    std::unique_ptr<Telemetry> telemetry_;
+    std::size_t audit_seen_prunes_ = 0; //!< pruneLog entries captured
+#endif
     Heap heap_;
     //! Thread-local allocation caches; declared after heap_ so leases
     //! are retired (cache destructors) before the heap dies.

@@ -19,9 +19,10 @@ bypasses all of that, so raw access is only legal in the layers that
   - src/analysis/heap_verifier.cpp  the invariant checker must look
                        at raw bits by definition
 
-Everything else (collections, apps, harness, core policy code) must go
-through the Runtime API. This lint enforces that statically and runs
-as a CTest (`ctest -R lint_barriers`).
+Everything else (collections, apps, harness, core policy code, and
+notably src/telemetry/ — instrumentation observes the heap, it never
+touches reference words) must go through the Runtime API. This lint
+enforces that statically and runs as a CTest (`ctest -R lint_barriers`).
 
 Exit codes: 0 clean, 1 violations found, 2 usage/internal error.
 
