@@ -1,20 +1,23 @@
 /**
  * @file
- * GC pause-time distribution benchmark.
+ * GC pause-time distribution benchmark: lazy vs eager sweeping.
  *
- * Runs a set of workloads through the harness driver and reports the
- * stop-the-world pause distribution for each: exact p50/p95/p99/max
- * from the collector's capped sample list, the always-on log2 pause
- * histogram, and the safepoint-request latency (how long the collector
- * waited for mutators to park). Each workload runs with a couple of
- * extra churn mutators so safepoint waits reflect a multi-threaded
- * process rather than a single parked thread.
+ * Runs each workload through the harness driver twice — once with the
+ * staged pipeline's lazy sweeping (reclamation on the allocation slow
+ * path, the default) and once with the eager in-pause baseline — and
+ * reports the stop-the-world pause distribution for both: exact
+ * p50/p95/p99/max from the collector's capped sample list, the
+ * always-on log2 pause histogram, and the safepoint-request latency
+ * (how long the collector waited for mutators to park). Each workload
+ * runs with a couple of extra churn mutators so safepoint waits
+ * reflect a multi-threaded process rather than a single parked thread.
  *
- * Results print as a table and are recorded machine-readably in
- * BENCH_gc_pause.json (current directory). The JSON schema is
- * identical whether telemetry is compiled in or out: everything here
- * comes from GcStats, which is populated unconditionally. --smoke
- * shrinks the wall-clock caps for CI.
+ * Results print as a table (plus a per-workload p95 comparison) and
+ * are recorded machine-readably in BENCH_gc_pause.json (current
+ * directory). The JSON schema is identical whether telemetry is
+ * compiled in or out: everything here comes from GcStats, which is
+ * populated unconditionally. --smoke shrinks the wall-clock caps for
+ * CI.
  */
 
 #include <cstring>
@@ -27,6 +30,9 @@
 #include "apps/leak_workload.h"
 #include "harness/driver.h"
 #include "harness/report.h"
+#include "util/timer.h"
+#include "vm/handles.h"
+#include "vm/runtime.h"
 
 using namespace lp;
 
@@ -41,6 +47,7 @@ struct Params {
 
 struct PauseRow {
     std::string workload;
+    bool lazy = true;
     RunResult result;
 };
 
@@ -50,6 +57,53 @@ fmtMs(std::uint64_t nanos)
     char buf[32];
     std::snprintf(buf, sizeof buf, "%.2f", static_cast<double>(nanos) * 1e-6);
     return buf;
+}
+
+/**
+ * Synthetic sweep-stress: the leak workloads' pauses are dominated by
+ * marking their (large, growing) live sets, which buries the component
+ * this comparison is about. This scenario inverts the ratio — a small
+ * rotating live ring (cheap mark) inside a heavy short-lived churn
+ * whose garbage interleaves with the ring, so every chunk is mixed
+ * live/dead and the per-pause sweep work is large. Eager mode pays it
+ * inside the pause; lazy mode pushes it onto the allocation slow path
+ * between pauses.
+ */
+RunResult
+runSweepStress(bool lazy, double seconds)
+{
+    RuntimeConfig cfg;
+    cfg.heapBytes = 64u << 20;
+    cfg.lazySweep = lazy;
+    cfg.enableLeakPruning = false;
+    cfg.barrierMode = BarrierMode::None;
+    cfg.verifier.enabled = false;
+    Runtime rt(cfg);
+    const class_id_t cls = rt.defineClass("bench.SweepNode", 1, 40);
+
+    HandleScope scope(rt.roots());
+    constexpr std::size_t kRing = 8192;
+    std::vector<Handle> ring;
+    ring.reserve(kRing);
+    for (std::size_t i = 0; i < kRing; ++i)
+        ring.push_back(scope.handle(rt.allocate(cls)));
+
+    Timer wall;
+    wall.start();
+    std::size_t slot = 0;
+    while (wall.elapsedSeconds() < seconds) {
+        // One survivor into the ring (evicting the previous occupant),
+        // then garbage of the same size class around it.
+        ring[slot].set(rt.allocate(cls));
+        slot = (slot + 1) % kRing;
+        for (int g = 0; g < 7; ++g)
+            rt.allocate(cls);
+    }
+
+    RunResult result;
+    result.workload = "SweepStress";
+    result.gc = rt.gcStats();
+    return result;
 }
 
 } // namespace
@@ -69,25 +123,54 @@ main(int argc, char **argv)
     registerAllWorkloads();
     printBanner(std::cout, "micro_gc_pause",
                 "stop-the-world pause and safepoint-wait distributions "
-                "per workload");
+                "per workload, lazy vs eager sweeping");
 
     std::vector<PauseRow> rows;
-    TextTable table({"workload", "GCs", "p50 ms", "p95 ms", "p99 ms",
+    TextTable table({"workload", "sweep", "GCs", "p50 ms", "p95 ms", "p99 ms",
                      "max ms", "safepoint max ms"});
     for (const std::string &name : params.workloads) {
-        DriverConfig cfg;
-        cfg.maxSeconds = params.seconds;
-        cfg.extraMutators = params.extraMutators;
-        const RunResult r = runWorkloadByName(name, cfg);
-        table.addRow({name, std::to_string(r.gc.collections),
+        for (const bool lazy : {true, false}) {
+            DriverConfig cfg;
+            cfg.maxSeconds = params.seconds;
+            cfg.extraMutators = params.extraMutators;
+            cfg.lazySweep = lazy;
+            const RunResult r = runWorkloadByName(name, cfg);
+            table.addRow({name, lazy ? "lazy" : "eager",
+                          std::to_string(r.gc.collections),
+                          fmtMs(r.pausePercentileNanos(0.5)),
+                          fmtMs(r.pausePercentileNanos(0.95)),
+                          fmtMs(r.pausePercentileNanos(0.99)),
+                          fmtMs(r.gc.maxPauseNanos),
+                          fmtMs(r.gc.maxSafepointWaitNanos)});
+            rows.push_back({name, lazy, r});
+        }
+    }
+    for (const bool lazy : {true, false}) {
+        const RunResult r = runSweepStress(lazy, params.seconds);
+        table.addRow({"SweepStress", lazy ? "lazy" : "eager",
+                      std::to_string(r.gc.collections),
                       fmtMs(r.pausePercentileNanos(0.5)),
                       fmtMs(r.pausePercentileNanos(0.95)),
                       fmtMs(r.pausePercentileNanos(0.99)),
                       fmtMs(r.gc.maxPauseNanos),
                       fmtMs(r.gc.maxSafepointWaitNanos)});
-        rows.push_back({name, r});
+        rows.push_back({"SweepStress", lazy, r});
     }
     table.print(std::cout);
+
+    // The headline claim of the staged pipeline: moving reclamation
+    // out of the pause shortens it.
+    std::cout << "\np95 pause, lazy vs eager:\n";
+    for (std::size_t i = 0; i + 1 < rows.size(); i += 2) {
+        const std::uint64_t lazy_p95 =
+            rows[i].result.pausePercentileNanos(0.95);
+        const std::uint64_t eager_p95 =
+            rows[i + 1].result.pausePercentileNanos(0.95);
+        std::cout << "  " << rows[i].workload << ": " << fmtMs(lazy_p95)
+                  << " ms vs " << fmtMs(eager_p95) << " ms ("
+                  << (lazy_p95 < eager_p95 ? "lazy shorter" : "NOT shorter")
+                  << ")\n";
+    }
 
     std::ofstream json("BENCH_gc_pause.json");
     json << "{\n  \"hardware_concurrency\": "
@@ -98,12 +181,14 @@ main(int argc, char **argv)
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const RunResult &r = rows[i].result;
         json << "    {\"workload\": \"" << rows[i].workload << "\""
+             << ", \"sweep\": \"" << (rows[i].lazy ? "lazy" : "eager") << "\""
              << ", \"collections\": " << r.gc.collections
              << ", \"pause_p50_nanos\": " << r.pausePercentileNanos(0.5)
              << ", \"pause_p95_nanos\": " << r.pausePercentileNanos(0.95)
              << ", \"pause_p99_nanos\": " << r.pausePercentileNanos(0.99)
              << ", \"pause_max_nanos\": " << r.gc.maxPauseNanos
              << ", \"pause_total_nanos\": " << r.gc.totalPauseNanos
+             << ", \"verify_total_nanos\": " << r.gc.totalVerifyNanos
              << ", \"safepoint_wait_total_nanos\": "
              << r.gc.totalSafepointWaitNanos
              << ", \"safepoint_wait_max_nanos\": " << r.gc.maxSafepointWaitNanos

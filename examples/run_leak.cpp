@@ -15,6 +15,8 @@
  *   --disk-multiple X   disk budget as a multiple of the heap (def. 4)
  *   --predictor P       default | most-stale | indiv-refs   (Section 6.1)
  *   --trigger T         after-select | only-when-exhausted  (Section 3.1)
+ *   --eager-sweep       complete sweeps inside the pause (default:
+ *                       lazy sweeping on the allocation slow path)
  *   --heap MB           heap size in MB (default: the workload's)
  *   --iters N           iteration cap (default 200000)
  *   --seconds S         wall-clock cap (default 20)
@@ -57,6 +59,7 @@ usage()
 {
     std::fprintf(stderr, "usage: run_leak --list | --workload NAME "
                          "[--no-pruning] [--predictor P] [--trigger T] "
+                         "[--eager-sweep] "
                          "[--heap MB] [--iters N] [--seconds S] [--series] "
                          "[--mutators N] [--trace PATH] [--metrics PATH] "
                          "[--metrics-csv PATH] [--verbose]\n");
@@ -104,6 +107,8 @@ main(int argc, char **argv)
             else if (t == "only-when-exhausted")
                 config.pruneTrigger = PruneTrigger::OnlyWhenExhausted;
             else usage();
+        } else if (arg == "--eager-sweep") {
+            config.lazySweep = false;
         } else if (arg == "--heap") {
             config.heapBytes = std::strtoull(next().c_str(), nullptr, 10) << 20;
         } else if (arg == "--iters") {

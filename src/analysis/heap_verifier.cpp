@@ -130,11 +130,18 @@ HeapVerifier::verify(std::uint64_t epoch)
                                         " has unregistered class id ", cls_id));
             return; // layout unknown: skip the shape check
         }
-        if (obj->marked())
+        // Epoch-parity marking: in swept storage every object's mark
+        // bit must carry the heap's live parity. Objects in chunks
+        // still pending a lazy sweep legitimately hold either parity
+        // (dead ones keep the stale bit until first touch), so the
+        // check is gated on the sweep state.
+        if (heap.sweepStateOf(obj) == Heap::ObjectSweepState::Swept &&
+            !obj->markedFor(heap.markParity()))
             addViolation(report, InvariantCheck::MarkBits,
                          detail::concat("object ", obj, " (",
                                         registry.info(cls_id).name,
-                                        ") is marked outside a collection"));
+                                        ") mark bit disagrees with the live "
+                                        "parity outside a collection"));
 
         const ClassInfo &cls = registry.info(cls_id);
         std::size_t expected = 0;
@@ -181,6 +188,9 @@ HeapVerifier::verify(std::uint64_t epoch)
         const class_id_t cls_id = obj->classId();
         if (cls_id >= num_classes)
             continue; // already reported; layout unknown
+        if (heap.sweepStateOf(obj) == Heap::ObjectSweepState::PendingDead)
+            continue; // dead, awaiting its lazy sweep: its references
+                      // may target storage that was already recycled
         const ClassInfo &cls = registry.info(cls_id);
         obj->forEachRefSlot(cls, [&](ref_t *slot) {
             const ref_t r = *slot;

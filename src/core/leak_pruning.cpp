@@ -1,5 +1,7 @@
 #include "core/leak_pruning.h"
 
+#include <algorithm>
+
 #include "gc/tracer.h"
 #include "object/object.h"
 #include "threads/worker_pool.h"
@@ -7,9 +9,12 @@
 
 namespace lp {
 
-LeakPruning::LeakPruning(const ClassRegistry &registry, LeakPruningConfig config)
+LeakPruning::LeakPruning(const ClassRegistry &registry, LeakPruningConfig config,
+                         std::size_t collector_parallelism)
     : registry_(registry), config_(config), machine_(config),
-      edge_table_(config.edgeTableSlots)
+      edge_table_(config.edgeTableSlots),
+      candidate_buffers_(std::max<std::size_t>(collector_parallelism, 1)),
+      candidate_counts_(std::max<std::size_t>(collector_parallelism, 1), 0)
 {}
 
 LeakPruning::~LeakPruning() = default;
@@ -31,6 +36,9 @@ LeakPruning::beginCollection(std::uint64_t epoch)
     // one; snapshot it so endCollection's transition can't confuse us.
     active_state_ = pinned_state_.value_or(machine_.state());
     candidates_.clear();
+    for (std::vector<Candidate> &buf : candidate_buffers_)
+        buf.clear();
+    std::fill(candidate_counts_.begin(), candidate_counts_.end(), 0);
     max_stale_seen_.store(0, std::memory_order_relaxed);
     poisoned_this_gc_.store(0, std::memory_order_relaxed);
 
@@ -113,11 +121,13 @@ LeakPruning::classifyEdge(Object *src, const ClassInfo &src_cls, ref_t *slot,
         switch (config_.predictor) {
           case Predictor::Default:
             // Pinned targets model memory the VM cannot reclaim (e.g.
-            // thread stacks, Mckoi leak): never a candidate.
+            // thread stacks, Mckoi leak): never a candidate. The
+            // worker-local buffer makes the deferral lock free; the
+            // merge (and the candidatesQueued count) happens once in
+            // afterInUseClosure.
             if (!tgt->pinned() && isCandidate(type, tgt)) {
-                std::lock_guard<std::mutex> lock(candidates_mutex_);
-                candidates_.push_back(Candidate{slot, type, tgt});
-                ++stats_.candidatesQueued;
+                candidate_buffers_[WorkerPool::currentWorkerSlot()].push_back(
+                    Candidate{slot, type, tgt});
                 return EdgeAction::Defer;
             }
             return EdgeAction::Trace;
@@ -126,7 +136,7 @@ LeakPruning::classifyEdge(Object *src, const ClassInfo &src_cls, ref_t *slot,
             // direct target's size and keep tracing.
             if (!tgt->pinned() && isCandidate(type, tgt)) {
                 edge_table_.chargeBytes(type, tgt->sizeBytes());
-                ++stats_.candidatesQueued;
+                ++candidate_counts_[WorkerPool::currentWorkerSlot()];
             }
             return EdgeAction::Trace;
           case Predictor::MostStale:
@@ -164,19 +174,25 @@ LeakPruning::runStaleClosure(Tracer &tracer)
     // distinct candidates run on distinct collector threads.
     std::atomic<std::size_t> next{0};
     std::atomic<std::uint64_t> sized{0};
-    tracer.pool().runOnAll([&](std::size_t) {
+    std::vector<TraceStats> per_worker(tracer.pool().parallelism());
+    tracer.pool().runOnAll([&](std::size_t w) {
+        TraceStats &worker_stats = per_worker[w];
         while (true) {
             const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= candidates_.size())
                 return;
             const Candidate &c = candidates_[i];
             const std::uint64_t bytes =
-                tracer.traceSubgraphCounting(c.target, this);
+                tracer.traceSubgraphCounting(c.target, this, worker_stats);
             if (bytes > 0)
                 edge_table_.chargeBytes(c.type, bytes);
             sized.fetch_add(bytes, std::memory_order_relaxed);
         }
     });
+    // Stale-closure marking is collection work; fold it into the
+    // collection's totals rather than losing it.
+    for (const TraceStats &s : per_worker)
+        tracer.addClosureStats(s);
     stats_.staleBytesSized += sized.load(std::memory_order_relaxed);
 }
 
@@ -188,10 +204,19 @@ LeakPruning::afterInUseClosure(Tracer &tracer)
 
     switch (config_.predictor) {
       case Predictor::Default:
+        // Single-threaded merge of the per-worker candidate buffers
+        // (the in-use closure is over; its workers are parked).
+        for (std::vector<Candidate> &buf : candidate_buffers_) {
+            stats_.candidatesQueued += buf.size();
+            candidates_.insert(candidates_.end(), buf.begin(), buf.end());
+            buf.clear();
+        }
         runStaleClosure(tracer);
         selected_ = edge_table_.selectMaxBytesAndReset();
         break;
       case Predictor::IndividualRefs:
+        for (const std::uint64_t n : candidate_counts_)
+            stats_.candidatesQueued += n;
         selected_ = edge_table_.selectMaxBytesAndReset();
         break;
       case Predictor::MostStale:

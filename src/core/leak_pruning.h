@@ -70,8 +70,13 @@ class LeakPruning : public CollectionPlugin
     /**
      * @param registry class metadata for edge typing and diagnostics.
      * @param config thresholds, predictor, trigger option.
+     * @param collector_parallelism worker count of the collector this
+     *        plugin will be installed in; sizes the per-worker
+     *        candidate buffers (classifyEdge runs on every tracer
+     *        worker and must not contend on a shared queue).
      */
-    LeakPruning(const ClassRegistry &registry, LeakPruningConfig config);
+    LeakPruning(const ClassRegistry &registry, LeakPruningConfig config,
+                std::size_t collector_parallelism = 1);
     ~LeakPruning() override;
 
     LeakPruning(const LeakPruning &) = delete;
@@ -196,9 +201,16 @@ class LeakPruning : public CollectionPlugin
     PruningState active_state_ = PruningState::Inactive;
     std::optional<PruningState> pinned_state_;
 
-    // Candidate queue for the current SELECT collection.
-    std::mutex candidates_mutex_;
-    std::vector<Candidate> candidates_;
+    // Candidate queues for the current SELECT collection: one buffer
+    // per collector worker slot, so classifyEdge (the trace hot path)
+    // never takes a lock; afterInUseClosure merges them — and counts
+    // candidatesQueued — once, single threaded, before the stale
+    // closure runs.
+    std::vector<std::vector<Candidate>> candidate_buffers_;
+    //! Per-worker candidate tallies for the IndividualRefs predictor,
+    //! which charges bytes inline and keeps no Candidate records.
+    std::vector<std::uint64_t> candidate_counts_;
+    std::vector<Candidate> candidates_; //!< merged stale-closure input
 
     // Selection carried from a SELECT collection to the PRUNE one.
     std::optional<EdgeEntrySnapshot> selected_;

@@ -1,5 +1,7 @@
 #include "gc/collector.h"
 
+#include <algorithm>
+
 #include "heap/heap.h"
 #include "object/object.h"
 #include "telemetry/telemetry.h"
@@ -10,12 +12,41 @@
 
 namespace lp {
 
+const char *
+pauseStageName(PauseStage stage)
+{
+    switch (stage) {
+      case PauseStage::RetireCaches:   return "retire-caches";
+      case PauseStage::DrainTelemetry: return "drain-telemetry";
+      case PauseStage::CompleteSweep:  return "complete-sweep";
+      case PauseStage::Mark:           return "mark";
+      case PauseStage::Plugin:         return "plugin";
+      case PauseStage::FinalizerScan:  return "finalizer-scan";
+      case PauseStage::EpochFlip:      return "epoch-flip";
+      case PauseStage::EagerSweep:     return "eager-sweep";
+      case PauseStage::Verify:         return "verify";
+      case PauseStage::kCount:         break;
+    }
+    return "?";
+}
+
+namespace {
+
+/** Wall-clock bounds of one executed pause stage. */
+struct StageTiming {
+    std::uint64_t start = 0;
+    std::uint64_t end = 0;
+    std::uint64_t nanos() const { return end - start; }
+};
+
+} // namespace
+
 Collector::Collector(Heap &heap, const ClassRegistry &registry,
                      RootProvider &roots, ThreadRegistry &threads,
                      std::size_t gc_threads)
     : heap_(heap), registry_(registry), roots_(roots), threads_(threads),
       pool_(std::make_unique<WorkerPool>(gc_threads)),
-      tracer_(std::make_unique<Tracer>(registry, *pool_))
+      tracer_(std::make_unique<Tracer>(heap, registry, *pool_))
 {}
 
 Collector::~Collector() = default;
@@ -27,64 +58,107 @@ Collector::collect()
     threads_.stopTheWorld();
     const std::uint64_t pause_start = nowNanos();
 
-    // Fold thread-local allocation caches back into the heap before
-    // touching it: sweep requires every chunk lease retired, and the
-    // verifier's charge-sum invariant needs exact byte accounting.
-    if (world_stopped_hook_)
-        world_stopped_hook_();
+    StageTiming timings[static_cast<std::size_t>(PauseStage::kCount)];
+    const auto stage = [&](PauseStage which, auto &&body) {
+        StageTiming &t = timings[static_cast<std::size_t>(which)];
+        t.start = nowNanos();
+        body();
+        t.end = nowNanos();
+    };
+    const auto timing = [&](PauseStage which) -> const StageTiming & {
+        return timings[static_cast<std::size_t>(which)];
+    };
 
+    // Fold thread-local allocation caches back into the heap before
+    // touching it: the flip requires every chunk lease retired, and
+    // the verifier's charge-sum invariant needs exact byte accounting.
+    stage(PauseStage::RetireCaches, [&] {
+        if (world_stopped_hook_)
+            world_stopped_hook_();
+    });
+
+    stage(PauseStage::DrainTelemetry, [&] {
 #if LP_TELEMETRY_ENABLED
-    // Epoch-based drain: every mutator is parked or blocked, so each
-    // SPSC ring has exactly one consumer (us) and a stable head.
-    if (telemetry_)
-        telemetry_->drainAll();
+        // Epoch-based drain: every mutator is parked or blocked, so
+        // each SPSC ring has exactly one consumer (us) and a stable
+        // head.
+        if (telemetry_)
+            telemetry_->drainAll();
 #endif
+    });
+
+    // Sweep-completeness: one parity bit cannot describe liveness
+    // across two flips, so every chunk still pending from the last
+    // collection must be swept before this one marks. Under lazySweep
+    // the allocator usually got here first and this is a no-op.
+    stage(PauseStage::CompleteSweep, [&] { heap_.finishSweep(pool_.get()); });
 
     ++epoch_;
+    LP_ASSERT(heap_.markEpoch() + 1 == epoch_,
+              "collector epoch and heap mark epoch fell out of lockstep");
+    const unsigned trace_parity = static_cast<unsigned>(epoch_ & 1);
     if (plugin_)
         plugin_->beginCollection(epoch_);
 
-    // Phase 1: the in-use transitive closure from the roots.
-    const std::uint64_t mark_start = nowNanos();
-    const TraceStats trace = tracer_->traceFromRoots(roots_, plugin_);
-    [[maybe_unused]] const std::uint64_t trace_end = nowNanos();
+    // The in-use transitive closure from the roots, marking at this
+    // collection's parity (opposite the heap's current live parity).
+    TraceStats trace;
+    stage(PauseStage::Mark, [&] {
+        heap_.beginMark();
+        trace = tracer_->traceFromRoots(roots_, plugin_, trace_parity);
+    });
 
-    // Phase 2: plugin phase — in SELECT this is the stale closure and
-    // edge-type selection; in other states it is a no-op.
-    if (plugin_)
-        plugin_->afterInUseClosure(*tracer_);
-    const std::uint64_t mark_end = nowNanos();
+    // Plugin phase — in SELECT this is the stale closure and edge-type
+    // selection; in other states it is a no-op. Closure work the
+    // plugin ran through the tracer folds into this collection's
+    // totals.
+    stage(PauseStage::Plugin, [&] {
+        if (plugin_)
+            plugin_->afterInUseClosure(*tracer_);
+        const TraceStats extra = tracer_->takeExtraStats();
+        trace.objectsMarked += extra.objectsMarked;
+        trace.edgesVisited += extra.edgesVisited;
+    });
 
-    // Phase 3: sweep. Unmarked objects are dead (either unreachable or
-    // reachable only through poisoned references); run finalizers —
-    // unless the plugin's finalizer policy has turned them off — and
-    // recycle their blocks. By default the paper (and we) keep calling
+    // Finalizers must run while dead objects still have intact
+    // headers, i.e. before any sweeping — under lazySweep the blocks
+    // may not be reclaimed for a long time, but the flip already
+    // declares them dead. By default the paper (and we) keep calling
     // finalizers after pruning starts (Section 2).
-    // The sweep itself is partitioned across the worker pool; only
-    // dead objects whose class has a finalizer are funneled back to
-    // this thread (headers intact) — the filter below runs on workers,
-    // so it is a pure read of immutable class metadata.
     std::uint64_t finalized = 0;
     const bool finalizers_on = !plugin_ || plugin_->finalizersEnabled();
-    const std::size_t live_bytes = heap_.sweep(
-        pool_.get(),
-        [&](Object *obj) {
-            return finalizers_on &&
-                   registry_.info(obj->classId()).hasFinalizer();
-        },
-        [&](Object *obj) {
+    stage(PauseStage::FinalizerScan, [&] {
+        if (!finalizers_on || !registry_.anyFinalizers())
+            return;
+        heap_.forEachObject([&](Object *obj) {
+            if (obj->markedFor(trace_parity))
+                return;
             const ClassInfo &cls = registry_.info(obj->classId());
+            if (!cls.hasFinalizer())
+                return;
             if (obj->tryEnqueueFinalizer()) {
                 ++finalized;
                 cls.finalizer(obj);
             }
         });
-    const std::uint64_t sweep_end = nowNanos();
+    });
+
+    // The epoch flip is the logical end of the collection: live parity
+    // becomes the trace parity, unmarked objects are dead in O(1), and
+    // chunks with any dead block queue for sweeping.
+    Heap::FlipResult flip;
+    stage(PauseStage::EpochFlip, [&] { flip = heap_.flipMarkEpoch(); });
+
+    // Eager baseline: complete every queued sweep inside the pause.
+    stage(PauseStage::EagerSweep, [&] {
+        if (!lazy_sweep_)
+            heap_.finishSweep(pool_.get());
+    });
 
     CollectionOutcome outcome;
     outcome.epoch = epoch_;
-    outcome.liveBytes = live_bytes;
-    outcome.committedBytes = heap_.committedBytes();
+    outcome.liveBytes = flip.liveBytes;
+    outcome.committedBytes = flip.committedBytes;
     outcome.capacityBytes = heap_.capacity();
     outcome.objectsMarked = trace.objectsMarked;
     outcome.refsPoisoned = trace.refsPoisoned;
@@ -93,29 +167,27 @@ Collector::collect()
         plugin_->endCollection(outcome);
 
     stats_.collections += 1;
-    stats_.lastPauseNanos = sweep_end - pause_start;
-    stats_.totalPauseNanos += stats_.lastPauseNanos;
-    stats_.totalMarkNanos += mark_end - mark_start;
-    stats_.totalSweepNanos += sweep_end - mark_end;
+    stats_.totalMarkNanos += timing(PauseStage::Mark).nanos();
+    stats_.totalSweepNanos += timing(PauseStage::CompleteSweep).nanos() +
+                              timing(PauseStage::EpochFlip).nanos() +
+                              timing(PauseStage::EagerSweep).nanos();
     stats_.objectsMarkedTotal += trace.objectsMarked;
     stats_.objectsFinalized += finalized;
     stats_.refsPoisonedTotal += trace.refsPoisoned;
-    stats_.lastLiveBytes = live_bytes;
-    stats_.maxPauseNanos = std::max(stats_.maxPauseNanos, stats_.lastPauseNanos);
+    stats_.lastLiveBytes = flip.liveBytes;
     const std::uint64_t safepoint_wait = pause_start - req_start;
     stats_.totalSafepointWaitNanos += safepoint_wait;
     stats_.maxSafepointWaitNanos =
         std::max(stats_.maxSafepointWaitNanos, safepoint_wait);
-    stats_.pauseHistogram.add(stats_.lastPauseNanos);
-    if (stats_.pauseSamplesNanos.size() < GcStats::kMaxPauseSamples)
-        stats_.pauseSamplesNanos.push_back(stats_.lastPauseNanos);
 
     // Post-collection analysis (heap verification) runs inside the
-    // existing pause: mark bits are freshly cleared and no mutator can
-    // race the walk.
-    [[maybe_unused]] const std::uint64_t verify_start = nowNanos();
-    if (post_collection_hook_)
-        post_collection_hook_(outcome);
+    // existing pause: no mutator can race the walk, and lazySweep's
+    // pending-sweep chunks are visible to the verifier as such.
+    stage(PauseStage::Verify, [&] {
+        if (post_collection_hook_)
+            post_collection_hook_(outcome);
+    });
+    stats_.totalVerifyNanos += timing(PauseStage::Verify).nanos();
 
 #if LP_TELEMETRY_ENABLED
     if (telemetry_) {
@@ -125,29 +197,68 @@ Collector::collect()
         telemetry_->emitSpan(TracePhase::SafepointWait, req_start, pause_start,
                              static_cast<std::uint32_t>(threads_.mutatorCount()),
                              0, /*gc_track=*/true);
-        telemetry_->emitSpan(TracePhase::GcMark, mark_start, trace_end,
+        telemetry_->emitSpan(TracePhase::GcMark,
+                             timing(PauseStage::Mark).start,
+                             timing(PauseStage::Mark).end,
                              static_cast<std::uint32_t>(trace.objectsMarked),
                              0, true);
-        telemetry_->emitSpan(TracePhase::GcPlugin, trace_end, mark_end,
+        telemetry_->emitSpan(TracePhase::GcPlugin,
+                             timing(PauseStage::Plugin).start,
+                             timing(PauseStage::Plugin).end,
                              static_cast<std::uint32_t>(trace.refsPoisoned),
                              0, true);
-        telemetry_->emitSpan(TracePhase::GcSweep, mark_end, sweep_end,
+        if (finalizers_on && registry_.anyFinalizers())
+            telemetry_->emitSpan(TracePhase::GcFinalizerScan,
+                                 timing(PauseStage::FinalizerScan).start,
+                                 timing(PauseStage::FinalizerScan).end,
+                                 static_cast<std::uint32_t>(finalized), 0,
+                                 true);
+        telemetry_->emitSpan(TracePhase::GcEpochFlip,
+                             timing(PauseStage::EpochFlip).start,
+                             timing(PauseStage::EpochFlip).end,
+                             static_cast<std::uint32_t>(flip.pendingChunks),
+                             flip.liveBytes, true);
+        // In-pause reclamation span: the flip plus the eager sweep.
+        // Under lazySweep this covers just the flip; the deferred work
+        // shows up as LazySweep/FinishSweep spans on mutator tracks.
+        telemetry_->emitSpan(TracePhase::GcSweep,
+                             timing(PauseStage::FinalizerScan).end,
+                             timing(PauseStage::EagerSweep).end,
                              static_cast<std::uint32_t>(finalized),
-                             live_bytes, true);
-        telemetry_->emitSpan(TracePhase::GcPause, pause_start, sweep_end,
-                             static_cast<std::uint32_t>(epoch_), live_bytes,
-                             true);
+                             flip.liveBytes, true);
         if (post_collection_hook_)
-            telemetry_->emitSpan(TracePhase::GcVerify, verify_start,
-                                 nowNanos(), 0, 0, true);
-        telemetry_->metrics().histogram("gc.pause_nanos")->add(
-            stats_.lastPauseNanos);
+            telemetry_->emitSpan(TracePhase::GcVerify,
+                                 timing(PauseStage::Verify).start,
+                                 timing(PauseStage::Verify).end, 0, 0, true);
         telemetry_->metrics().histogram("gc.safepoint_wait_nanos")->add(
             safepoint_wait);
         telemetry_->metrics().counter("gc.collections")->add(1);
         telemetry_->metrics().counter("gc.objects_finalized")->add(finalized);
         telemetry_->metrics().gauge("gc.live_bytes")->set(
-            static_cast<double>(live_bytes));
+            static_cast<double>(flip.liveBytes));
+        telemetry_->metrics().gauge("gc.pending_sweep_chunks")->set(
+            static_cast<double>(flip.pendingChunks));
+    }
+#endif
+
+    // The pause ends at world-resume, so lastPauseNanos covers
+    // everything mutators actually waited for — including the verifier
+    // and the telemetry bookkeeping above.
+    const std::uint64_t pause_end = nowNanos();
+    stats_.lastPauseNanos = pause_end - pause_start;
+    stats_.totalPauseNanos += stats_.lastPauseNanos;
+    stats_.maxPauseNanos = std::max(stats_.maxPauseNanos, stats_.lastPauseNanos);
+    stats_.pauseHistogram.add(stats_.lastPauseNanos);
+    if (stats_.pauseSamplesNanos.size() < GcStats::kMaxPauseSamples)
+        stats_.pauseSamplesNanos.push_back(stats_.lastPauseNanos);
+
+#if LP_TELEMETRY_ENABLED
+    if (telemetry_) {
+        telemetry_->emitSpan(TracePhase::GcPause, pause_start, pause_end,
+                             static_cast<std::uint32_t>(epoch_),
+                             flip.liveBytes, true);
+        telemetry_->metrics().histogram("gc.pause_nanos")->add(
+            stats_.lastPauseNanos);
     }
 #endif
 

@@ -1,12 +1,17 @@
 /**
  * @file
- * The stop-the-world mark-sweep collector.
+ * The stop-the-world mark collector: an explicit staged pipeline.
  *
- * Orchestrates one full-heap collection: stop the world, run the
- * in-use closure (with plugin edge hooks), let the plugin run its
- * stale closure and selection, sweep the heap (running finalizers on
- * reclaimed objects), and report the outcome to the plugin so the
- * leak-pruning state machine can advance.
+ * One collection runs the fixed PauseStage sequence inside the pause:
+ * retire thread caches, drain telemetry rings, complete pending lazy
+ * sweeps (the sweep-completeness rule), run the in-use closure (with
+ * plugin edge hooks), let the plugin run its stale closure and
+ * selection, scan for and run finalizers on dead objects, flip the
+ * heap's mark epoch (turning unmarked objects dead in O(1)), and
+ * verify. Reclamation itself happens *outside* the pause by default:
+ * the allocation slow path sweeps chunks on first touch after the
+ * flip (lazySweep=true); the eager baseline completes all sweeps
+ * in-pause instead. See DESIGN.md "GC pipeline & lazy sweeping".
  */
 
 #ifndef LP_GC_COLLECTOR_H
@@ -28,6 +33,27 @@ class Telemetry;
 class ThreadRegistry;
 class WorkerPool;
 
+/**
+ * The fixed stage sequence of one stop-the-world pause, in execution
+ * order. Stage timings are recorded individually; telemetry exports
+ * one span per substantive stage.
+ */
+enum class PauseStage : std::uint8_t {
+    RetireCaches,   //!< fold thread-local allocation caches back
+    DrainTelemetry, //!< drain per-thread trace rings (quiescent SPSC)
+    CompleteSweep,  //!< finish pending lazy sweeps (sweep-completeness)
+    Mark,           //!< the in-use transitive closure
+    Plugin,         //!< stale closure + edge selection (leak pruning)
+    FinalizerScan,  //!< run finalizers on dead objects, pre-reclaim
+    EpochFlip,      //!< advance live parity; queue lazy sweeps
+    EagerSweep,     //!< complete all sweeps in-pause (lazySweep=false)
+    Verify,         //!< post-collection hook (heap verifier)
+    kCount,
+};
+
+/** Printable stage name (diagnostics). */
+const char *pauseStageName(PauseStage stage);
+
 /** Cumulative collector statistics (drives Fig. 7's GC-time series). */
 struct GcStats {
     /** Cap on the exact per-pause sample list below. */
@@ -37,6 +63,11 @@ struct GcStats {
     std::uint64_t totalPauseNanos = 0;
     std::uint64_t totalMarkNanos = 0;
     std::uint64_t totalSweepNanos = 0;
+    //! In-pause verifier time, separated from the pause composition
+    //! stats so verification cost is visible rather than folded in
+    //! silently (the pause totals above still include it: the world
+    //! really is stopped while the verifier walks).
+    std::uint64_t totalVerifyNanos = 0;
     std::uint64_t objectsMarkedTotal = 0;
     std::uint64_t objectsFinalized = 0;
     std::uint64_t refsPoisonedTotal = 0;
@@ -81,6 +112,16 @@ class Collector
      * the stop-the-world pause, when all producers are quiescent.
      */
     void setTelemetry(Telemetry *telemetry) { telemetry_ = telemetry; }
+
+    /**
+     * Choose the sweep discipline. Lazy (the default) queues unswept
+     * chunks at the epoch flip and lets the allocation slow path sweep
+     * them on first touch; eager completes every sweep inside the
+     * pause (the pre-pipeline baseline). Must not be toggled while a
+     * collection is in progress.
+     */
+    void setLazySweep(bool on) { lazy_sweep_ = on; }
+    bool lazySweep() const { return lazy_sweep_; }
 
     /**
      * Install a hook run at the end of every collection, after the
@@ -131,6 +172,7 @@ class Collector
     std::function<void(const CollectionOutcome &)> post_collection_hook_;
     GcStats stats_;
     std::uint64_t epoch_ = 0;
+    bool lazy_sweep_ = true;
 };
 
 } // namespace lp

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "heap/heap.h"
 #include "object/object.h"
 #include "threads/worker_pool.h"
 #include "util/logging.h"
@@ -26,14 +27,52 @@ advanceStaleClock(Object *obj, std::uint64_t epoch)
 
 } // namespace
 
-Tracer::Tracer(const ClassRegistry &registry, WorkerPool &pool)
-    : registry_(registry), pool_(pool)
+Tracer::Tracer(Heap &heap, const ClassRegistry &registry, WorkerPool &pool)
+    : heap_(heap), registry_(registry), pool_(pool)
 {}
+
+Tracer::~Tracer()
+{
+    for (WorkChunk *chunk : chunk_pool_)
+        delete chunk;
+}
+
+WorkChunk *
+Tracer::takeChunk(std::vector<WorkChunk *> &local_free)
+{
+    if (!local_free.empty()) {
+        WorkChunk *chunk = local_free.back();
+        local_free.pop_back();
+        chunk->count = 0;
+        return chunk;
+    }
+    {
+        std::lock_guard<std::mutex> lock(chunk_pool_mutex_);
+        if (!chunk_pool_.empty()) {
+            WorkChunk *chunk = chunk_pool_.back();
+            chunk_pool_.pop_back();
+            chunk->count = 0;
+            return chunk;
+        }
+    }
+    return new WorkChunk;
+}
+
+void
+Tracer::releaseChunks(std::vector<WorkChunk *> &chunks)
+{
+    if (chunks.empty())
+        return;
+    std::lock_guard<std::mutex> lock(chunk_pool_mutex_);
+    chunk_pool_.insert(chunk_pool_.end(), chunks.begin(), chunks.end());
+    chunks.clear();
+}
 
 void
 Tracer::onMarked(Object *obj, CollectionPlugin *plugin,
                  const TracePolicy &policy)
 {
+    heap_.noteMarked(obj);
     if (policy.trackStaleness)
         advanceStaleClock(obj, policy.epoch);
     if (policy.notifyMarked)
@@ -43,7 +82,8 @@ Tracer::onMarked(Object *obj, CollectionPlugin *plugin,
 void
 Tracer::scanObject(Object *obj, CollectionPlugin *plugin,
                    const TracePolicy &policy, WorkChunk *&out,
-                   MarkQueue &queue, TraceStats &stats)
+                   MarkQueue &queue, TraceStats &stats,
+                   std::vector<WorkChunk *> &local_free)
 {
     const ClassInfo &cls = registry_.info(obj->classId());
     obj->forEachRefSlot(cls, [&](ref_t *slot) {
@@ -67,12 +107,12 @@ Tracer::scanObject(Object *obj, CollectionPlugin *plugin,
             // collection (the barrier only clears it on use).
             if (policy.tagReferences && !refHasStaleCheck(r))
                 *slot = refWithStaleCheck(r);
-            if (tgt->tryMark()) {
+            if (tgt->tryMarkFor(trace_parity_)) {
                 ++stats.objectsMarked;
                 onMarked(tgt, plugin, policy);
                 if (out->full()) {
                     queue.publish(out);
-                    out = new WorkChunk;
+                    out = takeChunk(local_free);
                 }
                 out->push(tgt);
             }
@@ -100,49 +140,64 @@ void
 Tracer::workerClosure(MarkQueue &queue, CollectionPlugin *plugin,
                       const TracePolicy &policy, TraceStats &stats)
 {
-    WorkChunk *out = new WorkChunk;
+    // Drained input chunks stay local and fund future output chunks,
+    // so a worker in steady state touches neither the shared chunk
+    // free list nor the system allocator.
+    std::vector<WorkChunk *> local_free;
+    WorkChunk *out = takeChunk(local_free);
     while (WorkChunk *in = queue.take()) {
         while (!in->empty())
-            scanObject(in->pop(), plugin, policy, out, queue, stats);
+            scanObject(in->pop(), plugin, policy, out, queue, stats,
+                       local_free);
         // Flush partial output before asking for more input so other
         // workers can steal it and the termination count stays honest.
         if (!out->empty()) {
             queue.publish(out);
-            out = new WorkChunk;
+            out = takeChunk(local_free);
         }
-        delete in;
+        local_free.push_back(in);
     }
-    delete out;
+    local_free.push_back(out);
+    releaseChunks(local_free);
 }
 
 TraceStats
-Tracer::traceFromRoots(RootProvider &roots, CollectionPlugin *plugin)
+Tracer::traceFromRoots(RootProvider &roots, CollectionPlugin *plugin,
+                       unsigned mark_parity)
 {
     const std::size_t workers = pool_.parallelism();
     MarkQueue queue(workers);
     const TracePolicy policy = plugin ? plugin->tracePolicy() : TracePolicy{};
-    policy_ = policy; // remembered for traceSubgraphCounting
+    policy_ = policy;               // remembered for traceSubgraphCounting
+    trace_parity_ = mark_parity & 1; // likewise
 
     // Seed the queue from the root set (stacks/registers + statics).
     TraceStats root_stats;
     {
-        WorkChunk *out = new WorkChunk;
+        std::vector<WorkChunk *> local_free;
+        WorkChunk *out = takeChunk(local_free);
         roots.forEachRoot([&](ref_t *slot) {
             const ref_t r = *slot;
             if (refIsNull(r) || refIsPoisoned(r))
                 return;
             Object *tgt = refTarget(r);
-            if (tgt->tryMark()) {
+            if (tgt->tryMarkFor(trace_parity_)) {
                 ++root_stats.objectsMarked;
                 onMarked(tgt, plugin, policy);
                 if (out->full()) {
                     queue.publish(out);
-                    out = new WorkChunk;
+                    out = takeChunk(local_free);
                 }
                 out->push(tgt);
             }
         });
-        queue.publish(out); // frees it if empty
+        // Keep empties out of the queue (publish would delete them,
+        // bleeding chunks from the pool).
+        if (out->empty())
+            local_free.push_back(out);
+        else
+            queue.publish(out);
+        releaseChunks(local_free);
     }
 
     std::vector<TraceStats> per_worker(workers);
@@ -161,11 +216,13 @@ Tracer::traceFromRoots(RootProvider &roots, CollectionPlugin *plugin)
 }
 
 std::uint64_t
-Tracer::traceSubgraphCounting(Object *start, CollectionPlugin *plugin)
+Tracer::traceSubgraphCounting(Object *start, CollectionPlugin *plugin,
+                              TraceStats &stats)
 {
     const TracePolicy &policy = policy_;
-    if (!start->tryMark())
+    if (!start->tryMarkFor(trace_parity_))
         return 0; // already live via another path (or another candidate)
+    ++stats.objectsMarked;
     onMarked(start, plugin, policy);
 
     std::uint64_t bytes = 0;
@@ -178,18 +235,40 @@ Tracer::traceSubgraphCounting(Object *start, CollectionPlugin *plugin)
         const ClassInfo &cls = registry_.info(obj->classId());
         obj->forEachRefSlot(cls, [&](ref_t *slot) {
             const ref_t r = *slot;
-            if (refIsNull(r) || refIsPoisoned(r))
+            if (refIsNull(r))
+                return;
+            ++stats.edgesVisited;
+            if (refIsPoisoned(r))
                 return;
             if (policy.tagReferences && !refHasStaleCheck(r))
                 *slot = refWithStaleCheck(r);
             Object *tgt = refTarget(r);
-            if (tgt->tryMark()) {
+            if (tgt->tryMarkFor(trace_parity_)) {
+                ++stats.objectsMarked;
                 onMarked(tgt, plugin, policy);
                 stack.push_back(tgt);
             }
         });
     }
     return bytes;
+}
+
+void
+Tracer::addClosureStats(const TraceStats &stats)
+{
+    extra_objects_marked_.fetch_add(stats.objectsMarked,
+                                    std::memory_order_relaxed);
+    extra_edges_visited_.fetch_add(stats.edgesVisited,
+                                   std::memory_order_relaxed);
+}
+
+TraceStats
+Tracer::takeExtraStats()
+{
+    TraceStats stats;
+    stats.objectsMarked = extra_objects_marked_.exchange(0, std::memory_order_relaxed);
+    stats.edgesVisited = extra_edges_visited_.exchange(0, std::memory_order_relaxed);
+    return stats;
 }
 
 } // namespace lp

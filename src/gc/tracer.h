@@ -23,6 +23,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <vector>
 
 #include "gc/mark_queue.h"
@@ -32,6 +33,7 @@
 
 namespace lp {
 
+class Heap;
 class Object;
 class WorkerPool;
 
@@ -60,29 +62,51 @@ class Tracer
 {
   public:
     /**
+     * @param heap marked objects are reported to the heap's mark-time
+     *        byte accounting (Heap::noteMarked).
      * @param registry class layouts for slot iteration.
      * @param pool collector worker pool (parallelism source).
      */
-    Tracer(const ClassRegistry &registry, WorkerPool &pool);
+    Tracer(Heap &heap, const ClassRegistry &registry, WorkerPool &pool);
 
     Tracer(const Tracer &) = delete;
     Tracer &operator=(const Tracer &) = delete;
 
+    ~Tracer();
+
     /**
      * Run the in-use closure: mark everything reachable from
-     * @p roots, classifying edges through @p plugin (may be null).
-     * Must run with the world stopped.
+     * @p roots with @p mark_parity (the collection's trace parity,
+     * one ahead of the heap's live parity), classifying edges through
+     * @p plugin (may be null). Must run with the world stopped.
      */
-    TraceStats traceFromRoots(RootProvider &roots, CollectionPlugin *plugin);
+    TraceStats traceFromRoots(RootProvider &roots, CollectionPlugin *plugin,
+                              unsigned mark_parity);
 
     /**
      * Serially mark the subgraph rooted at @p start, claiming objects
-     * not already marked, and return the bytes claimed. Reference
-     * slots inside the subgraph are stale-check tagged like any traced
-     * reference. Thread safe with respect to concurrent
-     * traceSubgraphCounting() calls on other candidates.
+     * not already marked (at the parity of the in-progress
+     * collection), and return the bytes claimed — folding the objects
+     * and edges visited into @p stats so stale-closure work shows up
+     * in the collection totals. Reference slots inside the subgraph
+     * are stale-check tagged like any traced reference. Thread safe
+     * with respect to concurrent traceSubgraphCounting() calls on
+     * other candidates.
      */
-    std::uint64_t traceSubgraphCounting(Object *start, CollectionPlugin *plugin);
+    std::uint64_t traceSubgraphCounting(Object *start,
+                                        CollectionPlugin *plugin,
+                                        TraceStats &stats);
+
+    /**
+     * Fold closure work a plugin performed outside traceFromRoots
+     * (e.g. per-worker stale-closure tallies) into this collection's
+     * totals; the collector drains them with takeExtraStats() after
+     * the plugin phase. Thread safe.
+     */
+    void addClosureStats(const TraceStats &stats);
+
+    /** Drain the stats accumulated through addClosureStats(). */
+    TraceStats takeExtraStats();
 
     const ClassRegistry &registry() const { return registry_; }
 
@@ -103,15 +127,30 @@ class Tracer
      */
     void scanObject(Object *obj, CollectionPlugin *plugin,
                     const TracePolicy &policy, WorkChunk *&out,
-                    MarkQueue &queue, TraceStats &stats);
+                    MarkQueue &queue, TraceStats &stats,
+                    std::vector<WorkChunk *> &local_free);
 
     /** Per-claim bookkeeping (staleness clock, plugin notification). */
     void onMarked(Object *obj, CollectionPlugin *plugin,
                   const TracePolicy &policy);
 
+    //! Next empty chunk: local stash first, then the shared free list.
+    WorkChunk *takeChunk(std::vector<WorkChunk *> &local_free);
+    void releaseChunks(std::vector<WorkChunk *> &chunks);
+
+    Heap &heap_;
     const ClassRegistry &registry_;
     WorkerPool &pool_;
     TracePolicy policy_; //!< policy of the in-progress collection
+    unsigned trace_parity_ = 1; //!< parity of the in-progress collection
+    //! Closure work plugins report via addClosureStats().
+    std::atomic<std::uint64_t> extra_objects_marked_{0};
+    std::atomic<std::uint64_t> extra_edges_visited_{0};
+    //! WorkChunk free list, reused across collections: workers fund
+    //! output chunks from the inputs they drain, so the steady state
+    //! allocates nothing on the closure's hot path.
+    std::mutex chunk_pool_mutex_;
+    std::vector<WorkChunk *> chunk_pool_;
 };
 
 } // namespace lp

@@ -97,6 +97,7 @@ runWorkload(const WorkloadInfo &info, const DriverConfig &config)
     rc.heapBytes = config.heapBytes ? config.heapBytes
                                     : workload->defaultHeapBytes();
     rc.gcThreads = config.gcThreads;
+    rc.lazySweep = config.lazySweep;
     rc.enableLeakPruning = config.enablePruning;
     rc.tolerance = config.tolerance;
     rc.offload.diskBudgetBytes = static_cast<std::size_t>(

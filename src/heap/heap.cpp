@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "telemetry/telemetry.h"
 #include "threads/worker_pool.h"
 #include "util/logging.h"
 
@@ -39,13 +40,17 @@ Heap::Heap(std::size_t capacity)
       storage_(new unsigned char[num_chunks_ * kChunkBytes + kChunkBytes]),
       class_sizes_(buildSizeClasses()),
       partial_(class_sizes_.size()),
-      chunks_(num_chunks_)
+      pending_(class_sizes_.size()),
+      chunks_(num_chunks_),
+      marked_bytes_(new std::atomic<std::uint32_t>[num_chunks_])
 {
     // Align the usable arena to a chunk-ish boundary (word alignment
     // is all objects need; chunk alignment simplifies nothing here, so
     // just word-align).
     arena_base_ = roundUp(reinterpret_cast<word_t>(storage_.get()), kWordBytes);
     free_chunks_.store(num_chunks_, std::memory_order_relaxed);
+    for (std::size_t c = 0; c < num_chunks_; ++c)
+        marked_bytes_[c].store(0, std::memory_order_relaxed);
 }
 
 Heap::~Heap() = default;
@@ -91,6 +96,10 @@ Heap::sizeClassFor(std::size_t bytes) const
 std::size_t
 Heap::takeFreeChunkLocked()
 {
+    // Dead large objects awaiting a lazy sweep still count against the
+    // committed budget; reconcile the LOS first so lazy sweeping never
+    // fails (or collects) where an eager sweep would have succeeded.
+    sweepLosLocked();
     // The large-object space draws on the same byte budget, so a free
     // chunk may exist yet be unaffordable.
     if (free_chunks_.load(std::memory_order_relaxed) == 0 ||
@@ -118,6 +127,7 @@ Heap::commissionChunkLocked(std::size_t chunk, std::size_t cls)
     info.inUse.assign((info.numBlocks + 63) / 64, 0);
     info.inPartialList = false;
     info.leased = false;
+    info.sweptEpoch = mark_epoch_.load(std::memory_order_relaxed);
     free_chunks_.fetch_sub(1, std::memory_order_relaxed);
 }
 
@@ -127,9 +137,20 @@ Heap::allocateSmallLocked(std::size_t bytes)
     const std::size_t cls = classFor(std::max(bytes, kMinBlockBytes));
     const std::uint32_t block_bytes = class_sizes_[cls];
 
-    // Find a chunk of this class with room, or commission a free one.
+    // Find a chunk of this class with room: a partial chunk first,
+    // then a pending one (swept here, on first touch after the epoch
+    // flip), then a freshly commissioned free chunk.
     while (true) {
         if (partial_[cls].empty()) {
+            const std::size_t pend = takePendingChunkLocked(cls);
+            if (pend != npos) {
+                ChunkInfo &info = chunks_[pend];
+                if (info.freeHead >= 0 || info.bump < info.numBlocks) {
+                    info.inPartialList = true;
+                    partial_[cls].push_back(static_cast<std::uint32_t>(pend));
+                }
+                continue;
+            }
             const std::size_t chunk = takeFreeChunkLocked();
             if (chunk == npos)
                 return nullptr;
@@ -166,6 +187,10 @@ Heap::allocateSmallLocked(std::size_t bytes)
 void *
 Heap::allocateLargeLocked(std::size_t bytes)
 {
+    // Reconcile dead large objects first: their committed bytes must
+    // never make a budget check fail (or trigger a collection) that an
+    // eager sweep would have passed.
+    sweepLosLocked();
     // Charge page-rounded bytes against the heap budget; the backing
     // memory is a fresh host allocation (MMTk-style LOS: virtual
     // contiguity is free, only total bytes are bounded).
@@ -179,6 +204,12 @@ Heap::allocateLargeLocked(std::size_t bytes)
     alloc.bytes = charged;
     alloc.object = reinterpret_cast<Object *>(
         roundUp(reinterpret_cast<word_t>(alloc.storage.get()), kWordBytes));
+    // The entry is visible to lazy LOS sweeps the moment it joins the
+    // index, but the caller formats the header only after the heap
+    // lock drops: stamp a live-parity status word now so a concurrent
+    // sweep cannot misread uninitialized memory as a dead mark.
+    *reinterpret_cast<word_t *>(alloc.object) =
+        static_cast<word_t>(markParity()) << header_bits::kMarkBit;
     large_objects_.push_back(std::move(alloc));
     large_bytes_.fetch_add(charged, std::memory_order_relaxed);
     used_bytes_.fetch_add(charged, std::memory_order_relaxed);
@@ -215,6 +246,16 @@ Heap::leaseChunk(std::size_t size_class, ChunkLease &lease)
             break;
         }
         // Exhausted chunk that lingered on the list; leave it retired.
+    }
+    while (chunk == npos) {
+        // Sweep pending chunks of this class on first touch; a swept
+        // chunk may turn out fully live (no space), so keep looking.
+        const std::size_t pend = takePendingChunkLocked(size_class);
+        if (pend == npos)
+            break;
+        ChunkInfo &info = chunks_[pend];
+        if (info.freeHead >= 0 || info.bump < info.numBlocks)
+            chunk = pend;
     }
     if (chunk == npos) {
         chunk = takeFreeChunkLocked();
@@ -290,25 +331,23 @@ Heap::makeChunkFree(std::size_t chunk)
     free_chunks_.fetch_add(1, std::memory_order_relaxed);
 }
 
-/** Per-worker tallies from one parallel-sweep partition. */
-struct Heap::SweepPartition {
-    std::size_t liveBytes = 0;       //!< surviving small + LOS bytes
-    std::uint64_t objectsFreed = 0;  //!< recycled directly on the worker
-    std::uint64_t bytesFreed = 0;
-    //! Dead blocks the filter kept for the serial visitor (chunk, block).
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> deferred;
-    std::vector<std::size_t> deadLarge; //!< dead LOS indices (freed serially)
-};
-
-void
-Heap::sweepPartition(std::size_t worker, std::size_t num_workers,
-                     DeadFilter defer_dead, SweepPartition &part)
+std::size_t
+Heap::sweep(DeadVisitor on_dead)
 {
-    // Contiguous ranges: workers own disjoint chunks (and disjoint LOS
-    // index ranges), so all per-chunk metadata writes are race-free.
-    const std::size_t chunk_lo = worker * num_chunks_ / num_workers;
-    const std::size_t chunk_hi = (worker + 1) * num_chunks_ / num_workers;
-    for (std::size_t c = chunk_lo; c < chunk_hi; ++c) {
+    // Historical single-parity contract: every reclaimed object is
+    // visited before its memory is recycled, survivors' mark bits are
+    // cleared. Bare-heap users only — a heap collected through the
+    // epoch-parity pipeline must finish its pending sweeps there.
+    LP_ASSERT(leased_chunks_ == 0,
+              "sweep with outstanding chunk leases (retire at safepoint)");
+    LP_ASSERT(!sweepPending(),
+              "legacy serial sweep on a heap with pending epoch sweeps");
+    ++stats_.sweeps;
+    for (auto &list : partial_)
+        list.clear();
+
+    std::size_t live_bytes = 0;
+    for (std::size_t c = 0; c < num_chunks_; ++c) {
         ChunkInfo &info = chunks_[c];
         if (info.kind != ChunkKind::Small)
             continue;
@@ -321,124 +360,25 @@ Heap::sweepPartition(std::size_t worker, std::size_t num_workers,
                 base + static_cast<std::size_t>(b) * info.blockBytes);
             if (obj->marked()) {
                 obj->clearMark();
-                part.liveBytes += info.blockBytes;
-            } else if (defer_dead(obj)) {
-                // Keep the header intact for the serial visitor; the
-                // epilogue recycles the block after visiting it.
-                part.deferred.emplace_back(static_cast<std::uint32_t>(c), b);
-            } else {
-                // Recycle in place: clear the bit and chain the block
-                // into the chunk-local free list (stored as index+1 so
-                // 0 means "end"; this clobbers the object header).
-                info.inUse[b / 64] &= ~bit;
-                --info.liveBlocks;
-                *reinterpret_cast<word_t *>(
-                    base + static_cast<std::size_t>(b) * info.blockBytes) =
-                    static_cast<word_t>(info.freeHead + 1);
-                info.freeHead = static_cast<std::int32_t>(b);
-                ++part.objectsFreed;
-                part.bytesFreed += info.blockBytes;
+                live_bytes += info.blockBytes;
+                continue;
             }
-        }
-    }
-
-    const std::size_t num_large = large_objects_.size();
-    const std::size_t large_lo = worker * num_large / num_workers;
-    const std::size_t large_hi = (worker + 1) * num_large / num_workers;
-    for (std::size_t i = large_lo; i < large_hi; ++i) {
-        LargeAlloc &alloc = large_objects_[i];
-        if (alloc.object->marked()) {
-            alloc.object->clearMark();
-            part.liveBytes += alloc.bytes;
-        } else {
-            // Freeing mutates the shared LOS index; defer to the
-            // serial epilogue (which also runs the filter/visitor).
-            part.deadLarge.push_back(i);
-        }
-    }
-}
-
-std::size_t
-Heap::sweep(WorkerPool *pool, DeadFilter defer_dead, DeadVisitor on_dead)
-{
-    LP_ASSERT(leased_chunks_ == 0,
-              "sweep with outstanding chunk leases (retire at safepoint)");
-    ++stats_.sweeps;
-    for (auto &list : partial_)
-        list.clear();
-
-    const std::size_t num_workers =
-        (pool && pool->parallelism() > 1) ? pool->parallelism() : 1;
-    std::vector<SweepPartition> parts(num_workers);
-    if (num_workers > 1) {
-        pool->runOnAll([&](std::size_t w) {
-            sweepPartition(w, num_workers, defer_dead, parts[w]);
-        });
-    } else {
-        sweepPartition(0, 1, defer_dead, parts[0]);
-    }
-
-    // --- serial epilogue (calling thread) ---------------------------------
-
-    std::size_t live_bytes = 0;
-    for (const SweepPartition &part : parts) {
-        live_bytes += part.liveBytes;
-        stats_.objectsFreed += part.objectsFreed;
-        stats_.bytesFreed += part.bytesFreed;
-    }
-
-    // Deferred dead blocks: visit with the header intact, then recycle.
-    for (const SweepPartition &part : parts) {
-        for (const auto &[c, b] : part.deferred) {
-            ChunkInfo &info = chunks_[c];
-            unsigned char *addr =
-                chunkBase(c) + static_cast<std::size_t>(b) * info.blockBytes;
-            on_dead(reinterpret_cast<Object *>(addr));
-            info.inUse[b / 64] &= ~(std::uint64_t{1} << (b % 64));
+            // Visit with the header intact, then recycle: clear the
+            // bit and chain the block into the chunk-local free list
+            // (stored as index+1 so 0 means "end"; this clobbers the
+            // object header).
+            on_dead(obj);
+            info.inUse[b / 64] &= ~bit;
             --info.liveBlocks;
-            *reinterpret_cast<word_t *>(addr) =
+            *reinterpret_cast<word_t *>(
+                base + static_cast<std::size_t>(b) * info.blockBytes) =
                 static_cast<word_t>(info.freeHead + 1);
             info.freeHead = static_cast<std::int32_t>(b);
             ++stats_.objectsFreed;
             stats_.bytesFreed += info.blockBytes;
         }
-    }
 
-    // Dead LOS entries: filter/visit serially, then compact the index.
-    if (!large_objects_.empty()) {
-        std::vector<unsigned char> los_dead(large_objects_.size(), 0);
-        bool any = false;
-        for (const SweepPartition &part : parts) {
-            for (std::size_t i : part.deadLarge) {
-                los_dead[i] = 1;
-                any = true;
-            }
-        }
-        if (any) {
-            std::size_t keep = 0;
-            for (std::size_t i = 0; i < large_objects_.size(); ++i) {
-                LargeAlloc &alloc = large_objects_[i];
-                if (!los_dead[i]) {
-                    if (keep != i)
-                        large_objects_[keep] = std::move(alloc);
-                    ++keep;
-                    continue;
-                }
-                if (defer_dead(alloc.object))
-                    on_dead(alloc.object);
-                ++stats_.objectsFreed;
-                stats_.bytesFreed += alloc.bytes;
-                large_bytes_.fetch_sub(alloc.bytes, std::memory_order_relaxed);
-            }
-            large_objects_.resize(keep);
-        }
-    }
-
-    // Chunk disposition: rebuild the partial lists, release empties.
-    for (std::size_t c = 0; c < num_chunks_; ++c) {
-        ChunkInfo &info = chunks_[c];
-        if (info.kind != ChunkKind::Small)
-            continue;
+        // Chunk disposition: release empties, rebuild the partial list.
         if (info.liveBlocks == 0) {
             makeChunkFree(c);
         } else if (info.freeHead >= 0 || info.bump < info.numBlocks) {
@@ -449,29 +389,323 @@ Heap::sweep(WorkerPool *pool, DeadFilter defer_dead, DeadVisitor on_dead)
         }
     }
 
-    used_bytes_.store(live_bytes, std::memory_order_relaxed);
-
-    // The merged live total must agree exactly with the post-sweep
-    // metadata: partial sums from workers are not allowed to drift.
-    std::size_t metadata_live = large_bytes_.load(std::memory_order_relaxed);
-    for (std::size_t c = 0; c < num_chunks_; ++c) {
-        const ChunkInfo &info = chunks_[c];
-        if (info.kind == ChunkKind::Small)
-            metadata_live +=
-                static_cast<std::size_t>(info.liveBlocks) * info.blockBytes;
+    // Dead LOS entries: visit, free, compact the index.
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < large_objects_.size(); ++i) {
+        LargeAlloc &alloc = large_objects_[i];
+        if (alloc.object->marked()) {
+            alloc.object->clearMark();
+            live_bytes += alloc.bytes;
+            if (keep != i)
+                large_objects_[keep] = std::move(alloc);
+            ++keep;
+            continue;
+        }
+        on_dead(alloc.object);
+        ++stats_.objectsFreed;
+        stats_.bytesFreed += alloc.bytes;
+        large_bytes_.fetch_sub(alloc.bytes, std::memory_order_relaxed);
     }
-    LP_ASSERT(metadata_live == live_bytes,
-              "parallel sweep live-bytes drift vs chunk metadata");
+    large_objects_.resize(keep);
 
+    used_bytes_.store(live_bytes, std::memory_order_relaxed);
     return live_bytes;
 }
 
-std::size_t
-Heap::sweep(DeadVisitor on_dead)
+// --- epoch-parity collection protocol ---------------------------------------
+
+void
+Heap::beginMark()
 {
-    // Historical contract: every reclaimed object is visited before
-    // its memory is recycled.
-    return sweep(nullptr, [](Object *) { return true; }, on_dead);
+    std::lock_guard<std::mutex> lock(mutex_);
+    LP_ASSERT(!sweepPending(),
+              "mark phase started with pending sweeps (run finishSweep "
+              "first: one parity bit cannot span two flips)");
+    for (std::size_t c = 0; c < num_chunks_; ++c)
+        marked_bytes_[c].store(0, std::memory_order_relaxed);
+    marked_large_bytes_.store(0, std::memory_order_relaxed);
+}
+
+void
+Heap::noteMarked(const Object *obj)
+{
+    const auto a = reinterpret_cast<word_t>(obj);
+    if (a >= arena_base_ && a < arena_base_ + capacity()) {
+        const std::size_t c = (a - arena_base_) / kChunkBytes;
+        marked_bytes_[c].fetch_add(chunks_[c].blockBytes,
+                                   std::memory_order_relaxed);
+        return;
+    }
+    // LOS: charge exactly what the allocator charged (page-rounded).
+    marked_large_bytes_.fetch_add(roundUp(obj->sizeBytes(), 4096),
+                                  std::memory_order_relaxed);
+}
+
+Heap::FlipResult
+Heap::flipMarkEpoch()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    LP_ASSERT(leased_chunks_ == 0,
+              "epoch flip with outstanding chunk leases (retire at safepoint)");
+    ++stats_.sweeps;
+
+    const std::uint64_t old_epoch = mark_epoch_.load(std::memory_order_relaxed);
+    const std::uint64_t new_epoch = old_epoch + 1;
+    const unsigned parity = static_cast<unsigned>(new_epoch & 1);
+
+    for (auto &list : partial_)
+        list.clear();
+
+    std::size_t live_small = 0;
+    std::size_t pending = 0;
+    for (std::size_t c = 0; c < num_chunks_; ++c) {
+        ChunkInfo &info = chunks_[c];
+        if (info.kind != ChunkKind::Small)
+            continue;
+        LP_ASSERT(info.sweptEpoch == old_epoch,
+                  "epoch flip over an unswept chunk (sweep-completeness "
+                  "rule violated)");
+        info.inPartialList = false;
+        const std::size_t marked = marked_bytes_[c].load(std::memory_order_relaxed);
+        const std::size_t allocated =
+            static_cast<std::size_t>(info.liveBlocks) * info.blockBytes;
+        live_small += marked;
+        if (marked == 0) {
+            // Every allocated block is dead: reclaim the whole chunk
+            // from metadata alone, no header walks.
+            stats_.objectsFreed += info.liveBlocks;
+            stats_.bytesFreed += allocated;
+            used_bytes_.fetch_sub(allocated, std::memory_order_relaxed);
+            makeChunkFree(c);
+            continue;
+        }
+        if (marked == allocated) {
+            // Fully live: nothing for a sweep to find.
+            info.sweptEpoch = new_epoch;
+            marked_bytes_[c].store(0, std::memory_order_relaxed);
+            if (info.freeHead >= 0 || info.bump < info.numBlocks) {
+                info.inPartialList = true;
+                partial_[info.sizeClass].push_back(
+                    static_cast<std::uint32_t>(c));
+            }
+            continue;
+        }
+        // Mixed chunk: queue for a lazy sweep on first allocation
+        // touch (or the next finishSweep). marked_bytes_ keeps the
+        // mark-time total so the sweep can cross-check against it.
+        pending_[info.sizeClass].push_back(static_cast<std::uint32_t>(c));
+        ++pending;
+    }
+
+    std::size_t live_large = 0;
+    bool any_large_dead = false;
+    for (const LargeAlloc &alloc : large_objects_) {
+        if (alloc.object->markedFor(parity))
+            live_large += alloc.bytes;
+        else
+            any_large_dead = true;
+    }
+    LP_ASSERT(live_large == marked_large_bytes_.load(std::memory_order_relaxed),
+              "LOS mark-time byte accounting drift (a marker bypassed "
+              "noteMarked)");
+
+    mark_epoch_.store(new_epoch, std::memory_order_relaxed);
+    pending_chunks_.store(pending, std::memory_order_relaxed);
+    if (any_large_dead)
+        los_pending_.store(true, std::memory_order_relaxed);
+    else
+        los_swept_epoch_ = new_epoch;
+
+    FlipResult result;
+    result.liveBytes = live_small + live_large;
+    // Dead-but-unswept large objects are excluded: committed space as
+    // an eager sweep would have left it, so fullness() decisions are
+    // mode-independent.
+    result.committedBytes =
+        (num_chunks_ - free_chunks_.load(std::memory_order_relaxed)) *
+            kChunkBytes +
+        live_large;
+    result.pendingChunks = pending;
+    return result;
+}
+
+void
+Heap::sweepChunkImpl(std::size_t chunk, SweepTally &tally)
+{
+    ChunkInfo &info = chunks_[chunk];
+    const std::uint64_t epoch = mark_epoch_.load(std::memory_order_relaxed);
+    const unsigned parity = static_cast<unsigned>(epoch & 1);
+    unsigned char *base = chunkBase(chunk);
+    std::size_t live_bytes = 0;
+    for (std::uint32_t b = 0; b < info.bump; ++b) {
+        const std::uint64_t bit = std::uint64_t{1} << (b % 64);
+        if (!(info.inUse[b / 64] & bit))
+            continue;
+        auto *obj = reinterpret_cast<Object *>(
+            base + static_cast<std::size_t>(b) * info.blockBytes);
+        if (obj->markedFor(parity)) {
+            live_bytes += info.blockBytes;
+            continue;
+        }
+        info.inUse[b / 64] &= ~bit;
+        --info.liveBlocks;
+        *reinterpret_cast<word_t *>(
+            base + static_cast<std::size_t>(b) * info.blockBytes) =
+            static_cast<word_t>(info.freeHead + 1);
+        info.freeHead = static_cast<std::int32_t>(b);
+        ++tally.objectsFreed;
+        tally.bytesFreed += info.blockBytes;
+    }
+    info.sweptEpoch = epoch;
+    LP_ASSERT(live_bytes == marked_bytes_[chunk].load(std::memory_order_relaxed),
+              "lazy sweep live bytes disagree with mark-time accounting");
+    marked_bytes_[chunk].store(0, std::memory_order_relaxed);
+}
+
+std::size_t
+Heap::takePendingChunkLocked(std::size_t cls)
+{
+    if (pending_[cls].empty())
+        return npos;
+    const std::size_t chunk = pending_[cls].back();
+    pending_[cls].pop_back();
+    pending_chunks_.fetch_sub(1, std::memory_order_relaxed);
+    TelemetrySpan span(telemetry_, TracePhase::LazySweep);
+    SweepTally tally;
+    sweepChunkImpl(chunk, tally);
+    used_bytes_.fetch_sub(tally.bytesFreed, std::memory_order_relaxed);
+    stats_.objectsFreed += tally.objectsFreed;
+    stats_.bytesFreed += tally.bytesFreed;
+    span.setArgs(static_cast<std::uint32_t>(chunk), tally.bytesFreed);
+    return chunk;
+}
+
+std::size_t
+Heap::sweepLosLocked()
+{
+    if (!los_pending_.load(std::memory_order_relaxed))
+        return 0;
+    const std::uint64_t epoch = mark_epoch_.load(std::memory_order_relaxed);
+    const unsigned parity = static_cast<unsigned>(epoch & 1);
+    TelemetrySpan span(telemetry_, TracePhase::LazySweep);
+    std::uint64_t freed = 0;
+    std::size_t freed_bytes = 0;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < large_objects_.size(); ++i) {
+        LargeAlloc &alloc = large_objects_[i];
+        if (alloc.object->markedFor(parity)) {
+            if (keep != i)
+                large_objects_[keep] = std::move(alloc);
+            ++keep;
+            continue;
+        }
+        ++freed;
+        freed_bytes += alloc.bytes;
+        large_bytes_.fetch_sub(alloc.bytes, std::memory_order_relaxed);
+        used_bytes_.fetch_sub(alloc.bytes, std::memory_order_relaxed);
+    }
+    large_objects_.resize(keep);
+    stats_.objectsFreed += freed;
+    stats_.bytesFreed += freed_bytes;
+    los_swept_epoch_ = epoch;
+    los_pending_.store(false, std::memory_order_relaxed);
+    span.setArgs(static_cast<std::uint32_t>(freed), freed_bytes);
+    return freed_bytes;
+}
+
+std::size_t
+Heap::finishSweep(WorkerPool *pool)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!sweepPending())
+        return 0;
+    // Spans from the collector's in-pause completeness pass (the only
+    // caller that hands us workers) belong on the GC track.
+    TelemetrySpan span(telemetry_, TracePhase::FinishSweep,
+                      /*gc_track=*/pool != nullptr);
+
+    std::vector<std::uint32_t> work;
+    for (auto &list : pending_) {
+        work.insert(work.end(), list.begin(), list.end());
+        list.clear();
+    }
+    pending_chunks_.store(0, std::memory_order_relaxed);
+
+    SweepTally total;
+    const std::size_t num_workers =
+        (pool && pool->parallelism() > 1 && work.size() > 1)
+            ? pool->parallelism()
+            : 1;
+    if (num_workers > 1) {
+        // Workers own disjoint chunks, so every metadata write in
+        // sweepChunkImpl is race-free; tallies merge at the barrier.
+        std::vector<SweepTally> tallies(num_workers);
+        pool->runOnAll([&](std::size_t w) {
+            for (std::size_t i = w; i < work.size(); i += num_workers)
+                sweepChunkImpl(work[i], tallies[w]);
+        });
+        for (const SweepTally &t : tallies) {
+            total.objectsFreed += t.objectsFreed;
+            total.bytesFreed += t.bytesFreed;
+        }
+    } else {
+        for (std::uint32_t c : work)
+            sweepChunkImpl(c, total);
+    }
+    used_bytes_.fetch_sub(total.bytesFreed, std::memory_order_relaxed);
+    stats_.objectsFreed += total.objectsFreed;
+    stats_.bytesFreed += total.bytesFreed;
+
+    // Disposition: every swept chunk kept at least one live block (a
+    // fully dead chunk was freed at the flip), so none can go back to
+    // the free pool; list the ones with room.
+    for (std::uint32_t c : work) {
+        ChunkInfo &info = chunks_[c];
+        LP_ASSERT(info.liveBlocks > 0,
+                  "pending chunk swept down to empty (flip should have "
+                  "freed it)");
+        if (!info.inPartialList &&
+            (info.freeHead >= 0 || info.bump < info.numBlocks)) {
+            info.inPartialList = true;
+            partial_[info.sizeClass].push_back(c);
+        }
+    }
+
+    const std::size_t los_freed = sweepLosLocked();
+
+    // With everything reconciled (and no leases to hide carves), the
+    // chunk metadata and the byte counter must agree exactly.
+    if (leased_chunks_ == 0) {
+        std::size_t metadata_live = large_bytes_.load(std::memory_order_relaxed);
+        for (std::size_t c = 0; c < num_chunks_; ++c) {
+            const ChunkInfo &info = chunks_[c];
+            if (info.kind == ChunkKind::Small)
+                metadata_live +=
+                    static_cast<std::size_t>(info.liveBlocks) * info.blockBytes;
+        }
+        LP_ASSERT(metadata_live == used_bytes_.load(std::memory_order_relaxed),
+                  "finishSweep live-bytes drift vs chunk metadata");
+    }
+
+    const std::size_t freed_bytes = total.bytesFreed + los_freed;
+    span.setArgs(static_cast<std::uint32_t>(work.size()), freed_bytes);
+    return freed_bytes;
+}
+
+Heap::ObjectSweepState
+Heap::sweepStateOf(const Object *obj) const
+{
+    const std::uint64_t epoch = mark_epoch_.load(std::memory_order_relaxed);
+    const auto a = reinterpret_cast<word_t>(obj);
+    if (a >= arena_base_ && a < arena_base_ + capacity()) {
+        const std::size_t c = (a - arena_base_) / kChunkBytes;
+        if (chunks_[c].sweptEpoch == epoch)
+            return ObjectSweepState::Swept;
+    } else if (los_swept_epoch_ == epoch) {
+        return ObjectSweepState::Swept;
+    }
+    return obj->markedFor(markParity()) ? ObjectSweepState::PendingLive
+                                        : ObjectSweepState::PendingDead;
 }
 
 void

@@ -54,6 +54,7 @@
 
 namespace lp {
 
+class Telemetry;
 class WorkerPool;
 
 /** Allocation and occupancy statistics for one heap. */
@@ -171,43 +172,132 @@ class Heap
 
     // --- collection support -----------------------------------------------
 
-    /**
-     * Thread-safe per-dead-object predicate, run on sweep workers:
-     * return true to have the object delivered — header and payload
-     * still intact — to the serial visitor before its block is
-     * recycled, false to recycle immediately. Must not touch shared
-     * mutable state (it may run concurrently on several workers).
-     */
-    using DeadFilter = FunctionRef<bool(Object *)>;
-
-    /** Serial visitor over the dead objects the filter kept. */
+    /** Serial visitor over dead objects (legacy serial sweep). */
     using DeadVisitor = FunctionRef<void(Object *)>;
 
     /**
-     * Free unmarked objects, clear surviving objects' mark bits,
-     * return fully-empty chunks to the free pool. Must run with the
-     * world stopped and every chunk lease retired.
-     *
-     * When @p pool is non-null the chunk list and LOS index are
-     * partitioned across its workers; per-worker tallies (live bytes,
-     * objectsFreed, bytesFreed) are merged at the barrier so the
-     * returned live occupancy and stats() stay exact. Dead objects for
-     * which @p defer_dead returns true are funneled to a single
-     * serial @p on_dead pass on the calling thread after the barrier
-     * (the collector runs finalizers there); all other dead blocks are
-     * recycled directly on the workers.
+     * Legacy single-parity serial sweep: free unmarked objects
+     * (@p on_dead runs on each with the header intact before its
+     * memory is recycled), clear surviving objects' mark bits, return
+     * fully-empty chunks to the free pool. Must run with the world
+     * stopped and every lease retired. Bare-heap users (tests,
+     * single-threaded embedders) that mark with Object::tryMark() use
+     * this; the collector pipeline uses the epoch-parity protocol
+     * below instead, and the two must not be mixed on one heap.
      *
      * @return bytes occupied by surviving blocks (live occupancy).
      */
-    std::size_t sweep(WorkerPool *pool, DeadFilter defer_dead,
-                      DeadVisitor on_dead);
+    std::size_t sweep(DeadVisitor on_dead);
+
+    // --- epoch-parity collection protocol ----------------------------------
+    //
+    // The staged collector never clears mark bits. An object is live
+    // when its mark bit equals the low bit of the heap's markEpoch
+    // ("live parity"); a collection marks with the *next* parity and
+    // flips markEpoch at the end of the pause, turning every
+    // unmarked object dead in O(1). Reclamation then happens outside
+    // the pause: chunks and the LOS carry a sweptEpoch, and the
+    // allocation slow path sweeps a chunk on first touch after a
+    // flip. Because one bit cannot distinguish three epochs, every
+    // pending sweep must complete before the next mark phase begins
+    // (the sweep-completeness rule): the collector runs finishSweep()
+    // at the start of each pause, and flipMarkEpoch() asserts it.
+
+    /** Live mark parity: an object is live iff markedFor(markParity()). */
+    unsigned
+    markParity() const
+    {
+        return static_cast<unsigned>(mark_epoch_.load(std::memory_order_relaxed) & 1);
+    }
+
+    /** Number of mark-epoch flips so far (one per completed collection). */
+    std::uint64_t
+    markEpoch() const
+    {
+        return mark_epoch_.load(std::memory_order_relaxed);
+    }
 
     /**
-     * Serial sweep convenience: @p on_dead runs on every reclaimed
-     * object before its memory is recycled (the historical contract;
-     * tests and single-threaded users).
+     * Start a mark phase: zero the per-chunk and LOS mark-time byte
+     * accounting that noteMarked() accumulates. World-stopped, after
+     * finishSweep() (the sweep-completeness rule).
      */
-    std::size_t sweep(DeadVisitor on_dead);
+    void beginMark();
+
+    /**
+     * Account one newly marked object (called exactly once per object
+     * per collection, by whoever won the parity claim). Lock-free:
+     * O(1) chunk lookup and a relaxed fetch_add, safe from concurrent
+     * mark workers. Feeds flipMarkEpoch()'s exact live-byte totals.
+     */
+    void noteMarked(const Object *obj);
+
+    /** What flipMarkEpoch() learned from the mark-time accounting. */
+    struct FlipResult {
+        std::size_t liveBytes = 0;      //!< exact bytes surviving this GC
+        std::size_t committedBytes = 0; //!< as if the sweep had run eagerly
+        std::size_t pendingChunks = 0;  //!< chunks left for lazy sweeping
+    };
+
+    /**
+     * End of pause: advance markEpoch so the mark bits just written
+     * become the live parity. Fully-dead chunks are freed immediately
+     * from metadata alone (no header walks); chunks with a mix of
+     * live and dead blocks are queued for lazy sweeping, as is the
+     * LOS if any large object died. World-stopped, leases retired,
+     * every chunk swept (asserted). The returned committedBytes
+     * excludes dead large objects — exactly what an eager sweep would
+     * have left — so CollectionOutcome::fullness() is identical in
+     * lazy and eager modes.
+     */
+    FlipResult flipMarkEpoch();
+
+    /**
+     * Complete every pending sweep now (all queued chunks plus the
+     * LOS). Safe while mutators run (the central lock serializes it
+     * against allocation); with @p pool it partitions the chunk list
+     * across workers (collector pause use). Runtime::allocateSlow
+     * must call this (and retry) before reporting memory exhaustion.
+     *
+     * @return bytes freed.
+     */
+    std::size_t finishSweep(WorkerPool *pool = nullptr);
+
+    /** Any chunks or LOS entries still awaiting a lazy sweep? */
+    bool
+    sweepPending() const
+    {
+        return pending_chunks_.load(std::memory_order_relaxed) != 0 ||
+               los_pending_.load(std::memory_order_relaxed);
+    }
+
+    /** Chunks awaiting a lazy sweep (telemetry gauge). */
+    std::size_t
+    pendingSweepChunks() const
+    {
+        return pending_chunks_.load(std::memory_order_relaxed);
+    }
+
+    /** Sweep progress of the space one object lives in (verifier). */
+    enum class ObjectSweepState : std::uint8_t {
+        Swept,       //!< space reconciled: object must be live parity
+        PendingLive, //!< sweep pending; object is marked live
+        PendingDead, //!< sweep pending; object is garbage awaiting free
+    };
+
+    /**
+     * Classify @p obj (which must be a currently allocated block or
+     * LOS object) against the sweep state of its chunk/space. Exact
+     * only at stop-the-world points.
+     */
+    ObjectSweepState sweepStateOf(const Object *obj) const;
+
+    /**
+     * Attach a telemetry engine (may be null): lazy sweeps on the
+     * allocation path emit LazySweep spans and finishSweep() emits a
+     * FinishSweep span. Call before mutators start.
+     */
+    void setTelemetry(Telemetry *telemetry) { telemetry_ = telemetry; }
 
     /** Visit every live (allocated) object. World-stopped/quiescent. */
     void forEachObject(FunctionRef<void(Object *)> fn) const;
@@ -322,11 +412,15 @@ class Heap
         std::int32_t freeHead = -1;    //!< Small: chunk-local free list
         bool inPartialList = false;
         bool leased = false;           //!< on loan to a thread cache
+        std::uint64_t sweptEpoch = 0;  //!< last markEpoch this was swept to
         std::vector<std::uint64_t> inUse; //!< Small: per-block bitmap
     };
 
-    /** Per-worker tallies from one parallel-sweep partition. */
-    struct SweepPartition;
+    /** Free/byte tallies from sweeping some chunks (merged serially). */
+    struct SweepTally {
+        std::uint64_t objectsFreed = 0;
+        std::size_t bytesFreed = 0;
+    };
 
     static std::vector<std::uint32_t> buildSizeClasses();
 
@@ -337,8 +431,13 @@ class Heap
     std::size_t takeFreeChunkLocked();      //!< returns index or npos
     void commissionChunkLocked(std::size_t chunk, std::size_t cls);
     void makeChunkFree(std::size_t chunk);
-    void sweepPartition(std::size_t worker, std::size_t num_workers,
-                        DeadFilter defer_dead, SweepPartition &part);
+    //! Reclaim dead blocks of one pending chunk (no shared-state writes
+    //! beyond the chunk's own metadata and atomics; parallel-safe on
+    //! disjoint chunks).
+    void sweepChunkImpl(std::size_t chunk, SweepTally &tally);
+    //! Pop one pending chunk of @p cls, sweep it, fold the tallies.
+    std::size_t takePendingChunkLocked(std::size_t cls);
+    std::size_t sweepLosLocked(); //!< returns bytes freed
 
     static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
@@ -351,10 +450,24 @@ class Heap
     std::atomic<std::size_t> free_chunks_{0};
     std::vector<std::uint32_t> class_sizes_;      //!< block size per class
     std::vector<std::vector<std::uint32_t>> partial_; //!< per class
+    //! Per class: chunks with live data awaiting a lazy sweep. Never
+    //! allocated from or leased until swept (guarded by mutex_).
+    std::vector<std::vector<std::uint32_t>> pending_;
     std::vector<ChunkInfo> chunks_;
     std::vector<LargeAlloc> large_objects_;       //!< the LOS
     std::atomic<std::size_t> large_bytes_{0};     //!< LOS occupancy
     std::size_t leased_chunks_ = 0;               //!< guarded by mutex_
+    //! Epoch-parity state. mark_epoch_ advances under mutex_ at
+    //! stop-the-world flips and is read lock-free (allocation parity,
+    //! verifier); the mark-time byte tallies are written by concurrent
+    //! mark workers with relaxed fetch_adds.
+    std::atomic<std::uint64_t> mark_epoch_{0};
+    std::unique_ptr<std::atomic<std::uint32_t>[]> marked_bytes_; //!< per chunk
+    std::atomic<std::size_t> marked_large_bytes_{0};
+    std::atomic<std::size_t> pending_chunks_{0};
+    std::atomic<bool> los_pending_{false};
+    std::uint64_t los_swept_epoch_ = 0;           //!< guarded by mutex_
+    Telemetry *telemetry_ = nullptr;
     HeapStats stats_;
     //! Serializes the central paths (lease/retire, locked allocate,
     //! LOS) against each other. Never held across a safepoint.

@@ -20,6 +20,8 @@ ClassRegistry::registerClass(ClassInfo info)
         fatal("duplicate class name: ", info.name);
     const auto id = static_cast<class_id_t>(classes_.size());
     info.id = id;
+    if (info.hasFinalizer())
+        finalizer_count_.fetch_add(1, std::memory_order_release);
     by_name_.emplace(info.name, id);
     classes_.push_back(std::make_unique<ClassInfo>(std::move(info)));
     count_.store(classes_.size(), std::memory_order_release);

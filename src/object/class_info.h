@@ -107,11 +107,22 @@ class ClassRegistry
     /** Number of registered classes. */
     std::size_t count() const;
 
+    /**
+     * Whether any registered class carries a finalizer. Wait-free;
+     * lets the collector skip the finalizer scan (a full-heap walk)
+     * entirely for finalizer-free workloads.
+     */
+    bool anyFinalizers() const
+    {
+        return finalizer_count_.load(std::memory_order_acquire) != 0;
+    }
+
   private:
     class_id_t registerClass(ClassInfo info);
 
     mutable std::mutex mutex_;
     std::atomic<std::size_t> count_{0};
+    std::atomic<std::size_t> finalizer_count_{0};
     std::vector<std::unique_ptr<ClassInfo>> classes_;
     std::unordered_map<std::string, class_id_t> by_name_;
 };

@@ -63,14 +63,24 @@ class Object
 
     /**
      * Format a freshly allocated block as an object: zero the payload
-     * and initialize the header.
+     * and initialize the header. @p mark_parity is the heap's current
+     * live parity (Heap::markParity()) so a fresh allocation is born
+     * live under epoch-parity marking; bare-heap users may leave it 0.
      */
     static Object *
-    format(void *mem, class_id_t cls, std::size_t total_bytes)
+    format(void *mem, class_id_t cls, std::size_t total_bytes,
+           unsigned mark_parity = 0)
     {
         auto *obj = static_cast<Object *>(mem);
-        obj->status_ = setBitField(0, header_bits::kClassIdLo,
-                                   header_bits::kClassIdWidth, cls);
+        // Relaxed atomic store: a lazy LOS sweep may concurrently read
+        // the mark bit of a just-allocated object (the allocator
+        // pre-stamps the same live parity, so either value is correct).
+        std::atomic_ref<word_t>(obj->status_)
+            .store(setBitField(word_t{mark_parity & 1}
+                                   << header_bits::kMarkBit,
+                               header_bits::kClassIdLo,
+                               header_bits::kClassIdWidth, cls),
+                   std::memory_order_relaxed);
         obj->size_ = total_bytes;
         std::memset(obj->payload(), 0, total_bytes - kHeaderBytes);
         return obj;
@@ -143,6 +153,9 @@ class Object
     /**
      * Claim this object for tracing: atomically set the mark bit.
      * @return true iff this call set the bit (the caller owns tracing).
+     *
+     * Legacy single-parity form (live == bit set); epoch-parity users
+     * (the collector pipeline) go through tryMarkFor()/markedFor().
      */
     bool
     tryMark()
@@ -152,6 +165,30 @@ class Object
 
     /** Clear the mark bit (done by the sweeper between collections). */
     void clearMark() { clearBit(header_bits::kMarkBit); }
+
+    /**
+     * Epoch-parity mark test: live when the mark bit equals the low
+     * bit of @p parity. The bit is never cleared between collections;
+     * the heap's markEpoch flip reinterprets it instead (see
+     * Heap::flipMarkEpoch and DESIGN.md "GC pipeline & lazy sweeping").
+     */
+    bool
+    markedFor(unsigned parity) const
+    {
+        return testBit(header_bits::kMarkBit) == ((parity & 1) != 0);
+    }
+
+    /**
+     * Parity-aware claim: atomically flip the mark bit toward
+     * @p parity. @return true iff this call made the object marked for
+     * @p parity (the caller owns tracing it).
+     */
+    bool
+    tryMarkFor(unsigned parity)
+    {
+        return (parity & 1) ? trySetBit(header_bits::kMarkBit)
+                            : tryClearBit(header_bits::kMarkBit);
+    }
 
     bool finalizerEnqueued() const { return testBit(header_bits::kFinalizerEnqueuedBit); }
     bool tryEnqueueFinalizer() { return trySetBit(header_bits::kFinalizerEnqueuedBit); }
@@ -280,6 +317,15 @@ class Object
     {
         std::atomic_ref<word_t> st(status_);
         st.fetch_and(~(word_t{1} << bit), std::memory_order_acq_rel);
+    }
+
+    bool
+    tryClearBit(unsigned bit)
+    {
+        std::atomic_ref<word_t> st(status_);
+        const word_t mask = word_t{1} << bit;
+        const word_t old = st.fetch_and(~mask, std::memory_order_acq_rel);
+        return (old & mask) != 0;
     }
 
     word_t status_;

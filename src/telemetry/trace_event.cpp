@@ -13,6 +13,8 @@ tracePhaseName(TracePhase phase)
       case TracePhase::GcSweep: return "gc.sweep";
       case TracePhase::GcVerify: return "gc.verify";
       case TracePhase::CacheRetireAll: return "cache.retire_all";
+      case TracePhase::GcFinalizerScan: return "gc.finalizer_scan";
+      case TracePhase::GcEpochFlip: return "gc.epoch_flip";
       case TracePhase::PruneDecision: return "prune.decision";
       case TracePhase::ClockTick: return "gc.clock_tick";
       case TracePhase::CacheRefill: return "cache.refill";
@@ -20,6 +22,8 @@ tracePhaseName(TracePhase phase)
       case TracePhase::OffloadFault: return "offload.fault";
       case TracePhase::PoisonAccess: return "barrier.poison_access";
       case TracePhase::AllocStall: return "alloc.stall";
+      case TracePhase::LazySweep: return "gc.lazy_sweep";
+      case TracePhase::FinishSweep: return "gc.finish_sweep";
       case TracePhase::kCount: break;
     }
     return "?";

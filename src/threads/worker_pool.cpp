@@ -4,6 +4,8 @@
 
 namespace lp {
 
+thread_local std::size_t WorkerPool::current_slot_ = 0;
+
 WorkerPool::WorkerPool(std::size_t num_workers)
 {
     LP_ASSERT(num_workers >= 1, "need at least the calling thread");
@@ -36,7 +38,9 @@ WorkerPool::runOnAll(FunctionRef<void(std::size_t)> fn)
     start_cv_.notify_all();
 
     // The caller participates as the highest worker index.
+    current_slot_ = pool_threads_.size();
     fn(pool_threads_.size());
+    current_slot_ = 0;
 
     std::unique_lock<std::mutex> lock(mutex_);
     done_cv_.wait(lock, [&] { return running_ == 0 && epoch_ == my_epoch; });
@@ -57,7 +61,9 @@ WorkerPool::workerLoop(std::size_t index)
             seen_epoch = epoch_;
             job = job_;
         }
+        current_slot_ = index;
         (*job)(index);
+        current_slot_ = 0;
         {
             std::lock_guard<std::mutex> lock(mutex_);
             --running_;

@@ -52,8 +52,19 @@ class WorkerPool
      */
     void runOnAll(FunctionRef<void(std::size_t)> fn);
 
+    /**
+     * Worker slot of the calling thread within the runOnAll() job it
+     * is currently executing (the caller participates as the highest
+     * slot). Lets job code index per-worker buffers without threading
+     * the slot through every call layer. Returns 0 outside a job,
+     * which is the right answer for single-threaded callers.
+     */
+    static std::size_t currentWorkerSlot() { return current_slot_; }
+
   private:
     void workerLoop(std::size_t index);
+
+    static thread_local std::size_t current_slot_;
 
     std::mutex mutex_;
     std::condition_variable start_cv_;

@@ -119,7 +119,7 @@ DiskOffload::offloadSubgraph(Object *root)
                 if (refIsNull(r) || refIsPoisoned(r))
                     return;
                 Object *tgt = refTarget(r);
-                if (tgt->marked() || offload_map_.count(tgt))
+                if (tgt->markedFor(traceParity()) || offload_map_.count(tgt))
                     return; // live, or already in some cohort
                 offload_map_.emplace(tgt, next_stub_id_++);
                 cohort.push_back(tgt);
@@ -177,12 +177,16 @@ DiskOffload::offloadSubgraph(Object *root)
 void
 DiskOffload::rescueSubgraph(Object *root)
 {
-    // Deferred but not offloadable: mark the subgraph so the sweep
-    // keeps it (equivalent to having traced the edge normally). Stub
-    // words inside it still count as live references for the disk GC.
+    // Deferred but not offloadable: mark the subgraph (at this
+    // collection's trace parity, reporting every claim to the heap's
+    // mark-time accounting) so the epoch flip keeps it — equivalent to
+    // having traced the edge normally. Stub words inside it still
+    // count as live references for the disk GC.
     std::vector<Object *> work;
-    if (root->tryMark())
+    if (root->tryMarkFor(traceParity())) {
+        rt_.heap().noteMarked(root);
         work.push_back(root);
+    }
     while (!work.empty()) {
         Object *obj = work.back();
         work.pop_back();
@@ -196,8 +200,10 @@ DiskOffload::rescueSubgraph(Object *root)
                 return;
             }
             Object *tgt = refTarget(r);
-            if (tgt->tryMark())
+            if (tgt->tryMarkFor(traceParity())) {
+                rt_.heap().noteMarked(tgt);
                 work.push_back(tgt);
+            }
         });
     }
 }
@@ -213,7 +219,7 @@ DiskOffload::afterInUseClosure(Tracer &)
         if (refIsNull(r) || refIsPoisoned(r))
             continue;
         Object *tgt = refTarget(r);
-        if (tgt->marked())
+        if (tgt->markedFor(traceParity()))
             continue; // reached via a live path after all
         if (stats_.diskLiveBytes >= config_.diskBudgetBytes)
             stats_.diskExhausted = true; // how disk-based systems die

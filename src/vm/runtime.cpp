@@ -48,7 +48,8 @@ Runtime::Runtime(const RuntimeConfig &config)
     if (mode != ToleranceMode::None && !barriers_enabled_)
         fatal("leak tolerance requires read barriers (BarrierMode::AllTheTime)");
     if (mode == ToleranceMode::LeakPruning) {
-        pruning_ = std::make_unique<LeakPruning>(registry_, config_.pruning);
+        pruning_ = std::make_unique<LeakPruning>(registry_, config_.pruning,
+                                                 config_.gcThreads);
         tolerance_plugin_ = pruning_.get();
     } else if (mode == ToleranceMode::DiskOffload) {
         offload_ = std::make_unique<DiskOffload>(*this, config_.offload);
@@ -57,10 +58,12 @@ Runtime::Runtime(const RuntimeConfig &config)
     collector_ = std::make_unique<Collector>(heap_, registry_, *this, threads_,
                                              config_.gcThreads);
     collector_->setPlugin(tolerance_plugin_);
+    collector_->setLazySweep(config_.lazySweep);
 
 #if LP_TELEMETRY_ENABLED
     telemetry_ = std::make_unique<Telemetry>(config_.telemetry);
     collector_->setTelemetry(telemetry_.get());
+    heap_.setTelemetry(telemetry_.get());
     alloc_caches_.setTelemetry(telemetry_.get());
 #endif
 
@@ -236,6 +239,14 @@ Runtime::allocateSlow(std::size_t bytes, ThreadAllocCache *cache)
         collectLocked(/*exhausted=*/tolerance_plugin_ &&
                       tolerance_plugin_->agesUnderExhaustion());
         mem = try_alloc();
+        if (!mem && heap_.sweepPending()) {
+            // Lazy sweeping defers reclamation to first touch, but the
+            // heap must not be declared exhausted while reclaimable
+            // bytes are still sitting in pending chunks: complete every
+            // sweep and retry before escalating.
+            heap_.finishSweep();
+            mem = try_alloc();
+        }
         if (mem) {
             noteAllocated(bytes, cache);
             return mem;
@@ -275,7 +286,11 @@ Runtime::allocateRaw(class_id_t cls, std::size_t bytes)
     if (!mem) [[unlikely]]
         mem = allocateSlow(bytes, cache);
 
-    Object *obj = Object::format(mem, cls, bytes);
+    // Fresh objects are born live: their mark bit carries the heap's
+    // current live parity, so a collection between now and first trace
+    // (which marks at the *other* parity) still treats swept state
+    // consistently.
+    Object *obj = Object::format(mem, cls, bytes, heap_.markParity());
     // Root the fresh object until the caller publishes it: another
     // thread may trigger a collection before that happens, and an
     // unrooted new object would be swept (a real VM's stack scan
